@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 10: static memory management and instruction footprint.
+ * (b/c): fully unrolled static programs grow linearly with the
+ * context length and overflow the sequencer's instruction buffer,
+ * while the DPA encoding stays constant.
+ */
+
+#include "bench_util.hh"
+#include "compiler/ir.hh"
+#include "compiler/passes.hh"
+#include "hub/sequencer.hh"
+
+using namespace pimphony;
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    auto model = LlmConfig::llm7b(true);
+    auto graph = buildDecoderLayer(model);
+    AimTimingParams params = AimTimingParams::aimxWithObuf(16);
+
+    MatchedKernel qkt, sv;
+    for (const auto &k : matchPimKernels(graph)) {
+        if (k.kernelClass == PimKernelClass::Qkt)
+            qkt = k;
+        if (k.kernelClass == PimKernelClass::Sv)
+            sv = k;
+    }
+
+    printBanner(std::cout,
+                "Fig. 10(c): per-kernel instruction footprint vs context "
+                "length (one attention head)");
+    InstructionSequencer seq;
+    TablePrinter t({"context", "QKT static", "QKT DPA", "SV static",
+                    "SV DPA", "static fits 256KB buf?"});
+    for (Tokens tm :
+         {4096u, 16384u, 65536u, 262144u, 1048576u}) {
+        auto lq = lowerKernel(qkt, params, tm);
+        auto ls = lowerKernel(sv, params, tm);
+        Bytes static_total =
+            staticProgramBytes(lq) + staticProgramBytes(ls);
+        t.addRow({TablePrinter::fmtInt(tm),
+                  TablePrinter::fmtInt(staticProgramBytes(lq)) + " B",
+                  TablePrinter::fmtInt(dpaProgramBytes(lq)) + " B",
+                  TablePrinter::fmtInt(staticProgramBytes(ls)) + " B",
+                  TablePrinter::fmtInt(dpaProgramBytes(ls)) + " B",
+                  static_total <= seq.params().bufferBytes ? "yes"
+                                                           : "NO"});
+    }
+    t.print(std::cout);
+
+    printBanner(std::cout,
+                "Fig. 10(b): the DPA instruction forms");
+    std::cout
+        << "  Dyn-Loop  : loop bound resolved from T_cur at decode "
+           "time (not T_max)\n"
+        << "  Dyn-Modi  : strides an operand field per iteration; "
+           "rows are virtual,\n"
+        << "              translated through the on-module VA2PA "
+           "table\n";
+
+    auto lq = lowerKernel(qkt, params, model.contextWindow);
+    std::cout << "  QKT DPA program: " << lq.dpaProgram.ops().size()
+              << " ops, " << dpaProgramBytes(lq)
+              << " B encoded; expands to "
+              << lq.dpaProgram.expand(65536).size()
+              << " instructions at T=64K and "
+              << lq.dpaProgram.expand(1048576).size() << " at T=1M\n";
+    return 0;
+}

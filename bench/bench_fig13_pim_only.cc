@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 13: throughput of PIM-only (CENT-like) systems with TCP, DCS
+ * and DPA applied cumulatively, using the best (TP,PP) plan per
+ * configuration. (a) non-GQA models on LongBench; (b) GQA models on
+ * LV-Eval. The paper reports 2.1-4.5x for (a) and up to 11.3x for
+ * (b).
+ */
+
+#include "bench_util.hh"
+
+using namespace pimphony;
+
+namespace {
+
+void
+grid(const char *title, const std::vector<LlmConfig> &models,
+     const std::vector<TraceTask> &tasks)
+{
+    printBanner(std::cout, title);
+    TablePrinter t({"model", "task", "config", "plan", "tokens/s",
+                    "speedup"});
+    for (const auto &model : models) {
+        for (TraceTask task : tasks) {
+            double base = 0.0;
+            for (const auto &opt : bench::cumulativeOptions()) {
+                OrchestratorConfig cfg;
+                cfg.system = SystemKind::PimOnly;
+                cfg.model = model;
+                cfg.options = opt;
+                cfg.plan = ParallelPlan{0, 0}; // search best
+                cfg.nRequests = 24;
+                cfg.decodeTokens = 32;
+                PimphonyOrchestrator orch(cfg);
+                auto r = orch.evaluate(task);
+                if (base == 0.0)
+                    base = r.engine.tokensPerSecond;
+                t.addRow({model.name, traceTaskName(task), opt.label(),
+                          r.plan.toString(),
+                          TablePrinter::fmt(r.engine.tokensPerSecond, 1),
+                          bench::fmtSpeedup(r.engine.tokensPerSecond /
+                                            base)});
+            }
+        }
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    grid("Fig. 13(a): PIM-only, non-GQA LLMs on LongBench "
+         "(paper: 2.1-4.5x)",
+         {LlmConfig::llm7b(false), LlmConfig::llm72b(false)},
+         {TraceTask::QMSum, TraceTask::Musique});
+    grid("Fig. 13(b): PIM-only, GQA LLMs on LV-Eval "
+         "(paper: up to 11.3x)",
+         {LlmConfig::llm7b(true), LlmConfig::llm72b(true)},
+         {TraceTask::MultifieldQa, TraceTask::LoogleSd});
+    return 0;
+}

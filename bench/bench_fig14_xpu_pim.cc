@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 14: throughput of xPU+PIM (NeuPIMs-like) systems with TCP,
+ * DCS and DPA applied cumulatively, best (TP,PP) per configuration.
+ * The paper reports up to 8.4x.
+ */
+
+#include "bench_util.hh"
+
+using namespace pimphony;
+
+namespace {
+
+void
+grid(const char *title, const std::vector<LlmConfig> &models,
+     const std::vector<TraceTask> &tasks)
+{
+    printBanner(std::cout, title);
+    TablePrinter t({"model", "task", "config", "plan", "tokens/s",
+                    "speedup"});
+    for (const auto &model : models) {
+        for (TraceTask task : tasks) {
+            double base = 0.0;
+            for (const auto &opt : bench::cumulativeOptions()) {
+                OrchestratorConfig cfg;
+                cfg.system = SystemKind::XpuPim;
+                cfg.model = model;
+                cfg.options = opt;
+                cfg.plan = ParallelPlan{0, 0};
+                cfg.nRequests = 24;
+                cfg.decodeTokens = 32;
+                PimphonyOrchestrator orch(cfg);
+                auto r = orch.evaluate(task);
+                if (base == 0.0)
+                    base = r.engine.tokensPerSecond;
+                t.addRow({model.name, traceTaskName(task), opt.label(),
+                          r.plan.toString(),
+                          TablePrinter::fmt(r.engine.tokensPerSecond, 1),
+                          bench::fmtSpeedup(r.engine.tokensPerSecond /
+                                            base)});
+            }
+        }
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    grid("Fig. 14(a): xPU+PIM, non-GQA LLMs on LongBench",
+         {LlmConfig::llm7b(false), LlmConfig::llm72b(false)},
+         {TraceTask::QMSum, TraceTask::Musique});
+    grid("Fig. 14(b): xPU+PIM, GQA LLMs on LV-Eval "
+         "(paper: up to 8.4x)",
+         {LlmConfig::llm7b(true), LlmConfig::llm72b(true)},
+         {TraceTask::MultifieldQa, TraceTask::LoogleSd});
+    return 0;
+}

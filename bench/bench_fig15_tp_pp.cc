@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 15: throughput across (TP,PP) organizations on the CENT-like
+ * system, with PIMphony techniques applied cumulatively.
+ * (a) LLM-7B-32K on LongBench QMSum; (b) LLM-7B-128K-GQA on LV-Eval
+ * multifieldqa.
+ */
+
+#include "bench_util.hh"
+
+using namespace pimphony;
+
+namespace {
+
+void
+sweep(const char *title, const LlmConfig &model, TraceTask task)
+{
+    printBanner(std::cout, title);
+    OrchestratorConfig probe;
+    probe.system = SystemKind::PimOnly;
+    probe.model = model;
+    PimphonyOrchestrator plans_orch(probe);
+    auto plans = plans_orch.candidatePlans();
+
+    std::vector<std::string> headers = {"config"};
+    for (const auto &p : plans)
+        headers.push_back(p.toString());
+    TablePrinter t(headers);
+
+    for (const auto &opt : bench::cumulativeOptions()) {
+        std::vector<std::string> row = {opt.label()};
+        for (const auto &plan : plans) {
+            OrchestratorConfig cfg;
+            cfg.system = SystemKind::PimOnly;
+            cfg.model = model;
+            cfg.options = opt;
+            cfg.plan = plan;
+            cfg.nRequests = 24;
+            cfg.decodeTokens = 32;
+            PimphonyOrchestrator orch(cfg);
+            auto r = orch.evaluate(task);
+            row.push_back(TablePrinter::fmt(r.engine.tokensPerSecond, 1));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    sweep("Fig. 15(a): LLM-7B-32K on QMSum, tokens/s across (TP,PP)",
+          LlmConfig::llm7b(false), TraceTask::QMSum);
+    sweep("Fig. 15(b): LLM-7B-128K-GQA on multifieldqa, tokens/s "
+          "across (TP,PP)",
+          LlmConfig::llm7b(true), TraceTask::MultifieldQa);
+    return 0;
+}

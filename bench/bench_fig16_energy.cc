@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 16: energy breakdowns of CENT vs CENT+PIMphony. Top: FC vs
+ * Attention share; bottom: MAC / I/O / Background / Else. The paper
+ * reports the baseline's attention background at 71.5% of attention
+ * energy, collapsing to 13.0% with PIMphony (up to 3.46x attention
+ * energy reduction).
+ */
+
+#include "bench_util.hh"
+#include "workload/trace.hh"
+
+using namespace pimphony;
+
+namespace {
+
+void
+energyCase(const char *title, const LlmConfig &model, TraceTask task)
+{
+    printBanner(std::cout, title);
+    TraceGenerator gen(task, 33);
+    auto requests = gen.generate(16, 32);
+
+    TablePrinter top({"config", "total (J)", "FC share", "Attn share",
+                      "Attn energy reduction"});
+    TablePrinter bottom({"config", "Attn MAC", "Attn I/O",
+                         "Attn background", "Attn ACT/PRE+REF+else"});
+    double base_attn = 0.0;
+    for (const auto &opt :
+         {PimphonyOptions::baseline(), PimphonyOptions::all()}) {
+        auto cluster = ClusterConfig::centLike(model);
+        auto r = runServing(cluster, model, requests, opt);
+        double fc = r.fcEnergy.total();
+        double at = r.attentionEnergy.total();
+        double tot = fc + at;
+        if (base_attn == 0.0)
+            base_attn = at;
+        top.addRow({opt.label(), TablePrinter::fmt(tot * 1e-12, 2),
+                    TablePrinter::fmtPercent(fc / tot),
+                    TablePrinter::fmtPercent(at / tot),
+                    bench::fmtSpeedup(base_attn / at)});
+        const auto &e = r.attentionEnergy;
+        double rest = e.actPre + e.refreshE + e.elseE;
+        bottom.addRow({opt.label(),
+                       TablePrinter::fmtPercent(e.mac / at),
+                       TablePrinter::fmtPercent(e.io / at),
+                       TablePrinter::fmtPercent(e.background / at),
+                       TablePrinter::fmtPercent(rest / at)});
+    }
+    top.print(std::cout);
+    bottom.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    energyCase("Fig. 16(a): LLM-7B-32K on LongBench QMSum (32K class)",
+               LlmConfig::llm7b(false), TraceTask::QMSum);
+    energyCase("Fig. 16(a): LLM-72B-32K on LongBench Musique",
+               LlmConfig::llm72b(false), TraceTask::Musique);
+    energyCase("Fig. 16(b): LLM-7B-128K-GQA on LV-Eval multifieldqa "
+               "(paper: background 71.5% -> 13.0%)",
+               LlmConfig::llm7b(true), TraceTask::MultifieldQa);
+    energyCase("Fig. 16(b): LLM-72B-128K-GQA on LV-Eval Loogle-SD",
+               LlmConfig::llm72b(true), TraceTask::LoogleSd);
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Fig. 17: scalability of PIMphony on LLM-7B-128K-GQA-class models
+ * with 3-sigma context variation. (a) throughput vs capacity at 64K
+ * mean context; (b) speedup over the baseline as mean context scales
+ * 4K -> 1M on a fixed 512 GB system (paper: 1.3/2.3/4.8/12.7/46.6x
+ * on CENT, 2.0/2.3/2.6/3.4/5.0x on NeuPIMs); (c) attention vs FC
+ * time shares explaining the trend.
+ *
+ * Each sweep point compiles the model for T_max = 2.5x the mean
+ * context, covering the trace's 3-sigma tail; compiling every length
+ * for a 2M worst case would cripple the static baseline everywhere
+ * and is not what either system would deploy.
+ */
+
+#include "bench_util.hh"
+#include "workload/trace.hh"
+
+using namespace pimphony;
+
+namespace {
+
+std::vector<Request>
+scaledTrace(Tokens mean, std::size_t n, Tokens decode)
+{
+    TraceGenerator gen(TraceTask::MultifieldQa, 99);
+    return gen.generateScaled(n, mean, decode);
+}
+
+LlmConfig
+modelFor(Tokens mean_context)
+{
+    auto model = LlmConfig::llm7b(true);
+    model.contextWindow = mean_context * 5 / 2;
+    return model;
+}
+
+EvaluationResult
+evaluate(SystemKind system, const LlmConfig &model, unsigned modules,
+         const std::vector<Request> &requests,
+         const PimphonyOptions &options)
+{
+    OrchestratorConfig cfg;
+    cfg.system = system;
+    cfg.model = model;
+    cfg.options = options;
+    cfg.plan = ParallelPlan{0, 0}; // best plan per configuration
+    cfg.modulesOverride = modules;
+    PimphonyOrchestrator orch(cfg);
+    return orch.evaluateRequests(requests);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+
+    printBanner(std::cout,
+                "Fig. 17(a): throughput vs capacity at 64K mean context "
+                "(CENT-like, PIMphony, best plan)");
+    {
+        auto model = modelFor(65536);
+        TablePrinter t({"capacity", "modules", "plan", "tokens/s",
+                        "effective batch"});
+        for (unsigned modules : {8u, 16u, 32u, 64u}) {
+            std::size_t n = 4u * modules;
+            auto requests = scaledTrace(65536, n, 16);
+            auto r = evaluate(SystemKind::PimOnly, model, modules,
+                              requests, PimphonyOptions::all());
+            t.addRow({TablePrinter::fmtInt(modules * 16u) + " GiB",
+                      TablePrinter::fmtInt(modules),
+                      r.plan.toString(),
+                      TablePrinter::fmt(r.engine.tokensPerSecond, 1),
+                      TablePrinter::fmt(r.engine.avgEffectiveBatch, 1)});
+        }
+        t.print(std::cout);
+    }
+
+    printBanner(std::cout,
+                "Fig. 17(b): PIMphony speedup vs context length at 512 "
+                "GiB (paper CENT: 1.3/2.3/4.8/12.7/46.6; NeuPIMs: "
+                "2.0/2.3/2.6/3.4/5.0)");
+    {
+        TablePrinter t({"mean context", "CENT base tok/s",
+                        "CENT +PIMphony", "speedup", "NeuPIMs base",
+                        "NeuPIMs +PIMphony", "speedup"});
+        for (Tokens ctx :
+             {4096u, 32768u, 131072u, 524288u, 1048576u}) {
+            auto model = modelFor(ctx);
+            std::size_t n = ctx >= 524288 ? 12 : 32;
+            auto requests = scaledTrace(ctx, n, 16);
+
+            auto cb = evaluate(SystemKind::PimOnly, model, 32, requests,
+                               PimphonyOptions::baseline());
+            auto cp = evaluate(SystemKind::PimOnly, model, 32, requests,
+                               PimphonyOptions::all());
+            auto nb = evaluate(SystemKind::XpuPim, model, 16, requests,
+                               PimphonyOptions::baseline());
+            auto np = evaluate(SystemKind::XpuPim, model, 16, requests,
+                               PimphonyOptions::all());
+
+            t.addRow({TablePrinter::fmtInt(ctx),
+                      TablePrinter::fmt(cb.engine.tokensPerSecond, 2),
+                      TablePrinter::fmt(cp.engine.tokensPerSecond, 2),
+                      bench::fmtSpeedup(cp.engine.tokensPerSecond /
+                                        cb.engine.tokensPerSecond),
+                      TablePrinter::fmt(nb.engine.tokensPerSecond, 2),
+                      TablePrinter::fmt(np.engine.tokensPerSecond, 2),
+                      bench::fmtSpeedup(np.engine.tokensPerSecond /
+                                        nb.engine.tokensPerSecond)});
+        }
+        t.print(std::cout);
+    }
+
+    printBanner(std::cout,
+                "Fig. 17(c): where the time goes (CENT-like, 512 GiB)");
+    {
+        TablePrinter t({"mean context", "config", "attention share",
+                        "FC share", "MAC util"});
+        for (Tokens ctx : {32768u, 524288u}) {
+            auto model = modelFor(ctx);
+            auto requests = scaledTrace(ctx, ctx >= 524288 ? 12 : 32, 16);
+            for (const auto &opt : {PimphonyOptions::baseline(),
+                                    PimphonyOptions::all()}) {
+                auto r = evaluate(SystemKind::PimOnly, model, 32,
+                                  requests, opt);
+                double tot =
+                    r.engine.attentionSeconds + r.engine.fcSeconds;
+                t.addRow({TablePrinter::fmtInt(ctx), opt.label(),
+                          TablePrinter::fmtPercent(
+                              r.engine.attentionSeconds / tot),
+                          TablePrinter::fmtPercent(r.engine.fcSeconds /
+                                                   tot),
+                          TablePrinter::fmtPercent(
+                              r.engine.macUtilization)});
+            }
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 18: compute utilization of DCS vs ping-pong buffering on
+ * attention kernels -- MHA and GQA with group size g in {2,4,8},
+ * both under the row-reuse mapping and with the same total buffer
+ * budget. The paper reports DCS up to 1.4x higher utilization.
+ */
+
+#include "bench_util.hh"
+#include "kernels/kernel_sim.hh"
+
+using namespace pimphony;
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    printBanner(std::cout,
+                "Fig. 18: compute utilization, ping-pong vs DCS "
+                "(row-reuse mapping, same total buffers)");
+
+    AimTimingParams params = AimTimingParams::aimxWithObuf(16);
+    TablePrinter t({"config", "pingpong util", "DCS util", "DCS gain",
+                    "pingpong cycles", "DCS cycles"});
+
+    for (unsigned g : {1u, 2u, 4u, 8u}) {
+        AttentionSpec spec;
+        spec.tokens = 16384;
+        spec.headDim = 128;
+        spec.gqaGroup = g;
+        spec.rowReuse = true;
+
+        // Combined QKT + SV utilization per mapping.
+        auto run = [&](SchedulerKind sched, bool pingpong) {
+            auto qkt = simulateKernel(
+                KernelRequest::makeQkt(spec, sched, pingpong), params);
+            auto sv = simulateKernel(
+                KernelRequest::makeSv(spec, sched, pingpong), params);
+            Cycle cycles = qkt.makespan + sv.makespan;
+            double util =
+                static_cast<double>(qkt.macBusyCycles +
+                                    sv.macBusyCycles) /
+                static_cast<double>(cycles);
+            return std::make_pair(util, cycles);
+        };
+
+        auto [pp_util, pp_cycles] = run(SchedulerKind::PingPong, true);
+        auto [dc_util, dc_cycles] = run(SchedulerKind::Dcs, false);
+
+        std::string label = g == 1
+            ? std::string("MHA")
+            : "GQA g=" + TablePrinter::fmtInt(g);
+        t.addRow({label, TablePrinter::fmtPercent(pp_util),
+                  TablePrinter::fmtPercent(dc_util),
+                  bench::fmtSpeedup(dc_util / pp_util),
+                  TablePrinter::fmtInt(pp_cycles),
+                  TablePrinter::fmtInt(dc_cycles)});
+    }
+    t.print(std::cout);
+    std::cout << "  (paper: DCS sustains entry-level overlap in one "
+                 "buffer; ping-pong stalls at region hand-offs, up to "
+                 "1.4x lower utilization)\n";
+    return 0;
+}

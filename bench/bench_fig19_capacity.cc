@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 19: memory capacity utilization with and without DPA across
+ * the four workloads. QMSum/Musique run the 7B-32K model,
+ * multifieldqa/Loogle-SD the 7B-128K GQA model. The paper reports
+ * 31.0-40.5% static and 75.6% average with DPA.
+ */
+
+#include "bench_util.hh"
+#include "workload/trace.hh"
+
+using namespace pimphony;
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    printBanner(std::cout,
+                "Fig. 19: capacity utilization, static vs DPA "
+                "(paper: 31.0-40.5% -> avg 75.6%)");
+
+    TablePrinter t({"task", "model", "static util", "DPA util",
+                    "static batch", "DPA batch"});
+    double dpa_sum = 0.0;
+    int n = 0;
+    for (TraceTask task : allTraceTasks()) {
+        bool lveval = task == TraceTask::MultifieldQa ||
+                      task == TraceTask::LoogleSd;
+        auto model = LlmConfig::llm7b(lveval);
+        auto cluster = ClusterConfig::centLike(model);
+        TraceGenerator gen(task, 7);
+        auto requests = gen.generate(48, 64);
+
+        auto st = runServing(cluster, model, requests,
+                             PimphonyOptions{true, true, false});
+        auto dp = runServing(cluster, model, requests,
+                             PimphonyOptions::all());
+        dpa_sum += dp.capacityUtilization;
+        ++n;
+        t.addRow({traceTaskName(task), model.name,
+                  TablePrinter::fmtPercent(st.capacityUtilization),
+                  TablePrinter::fmtPercent(dp.capacityUtilization),
+                  TablePrinter::fmt(st.avgEffectiveBatch, 1),
+                  TablePrinter::fmt(dp.avgEffectiveBatch, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "  DPA average: "
+              << TablePrinter::fmtPercent(dpa_sum / n)
+              << " (paper: 75.6%)\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 2: characteristics of long-context decoding on LLM-7B (GQA).
+ * (a) compute intensity vs context length; (b) memory footprint vs
+ * context length and batch, against the A100-80GB line.
+ */
+
+#include "bench_util.hh"
+#include "model/llm.hh"
+
+using namespace pimphony;
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    auto model = LlmConfig::llm7b(true);
+
+    printBanner(std::cout,
+                "Fig. 2(a): compute intensity (FLOPs/Byte) vs context "
+                "(LLM-7B w/ GQA, batch 16)");
+    TablePrinter a({"context", "FLOPs/token", "bytes/token",
+                    "intensity"});
+    for (Tokens t : {1024u, 4096u, 16384u, 65536u, 262144u, 1048576u}) {
+        a.addRow({TablePrinter::fmtInt(t),
+                  TablePrinter::fmt(model.decodeFlopsPerToken(t) / 1e9, 2) +
+                      " G",
+                  TablePrinter::fmt(
+                      model.decodeBytesPerToken(t, 16) / 1e9, 2) +
+                      " GB",
+                  TablePrinter::fmt(model.computeIntensity(t, 16), 2)});
+    }
+    a.print(std::cout);
+
+    printBanner(std::cout,
+                "Fig. 2(b): GPU memory footprint (GiB) vs context x batch "
+                "(dashed line: A100 80 GiB)");
+    std::vector<std::uint32_t> batches = {1, 2, 4, 8, 16};
+    std::vector<std::string> headers = {"context"};
+    for (auto b : batches)
+        headers.push_back("batch " + TablePrinter::fmtInt(b));
+    TablePrinter f(headers);
+    for (Tokens t : {4096u, 16384u, 65536u, 131072u, 262144u, 1048576u}) {
+        std::vector<std::string> row = {TablePrinter::fmtInt(t)};
+        for (auto b : batches) {
+            double gib = static_cast<double>(
+                             model.memoryFootprint(t, b)) /
+                         (1024.0 * 1024.0 * 1024.0);
+            std::string cell = TablePrinter::fmt(gib, 1);
+            if (gib > 80.0)
+                cell += " *OOM";
+            row.push_back(cell);
+        }
+        f.addRow(row);
+    }
+    f.print(std::cout);
+    std::cout << "  (*OOM: exceeds one A100-80GB)\n";
+    return 0;
+}

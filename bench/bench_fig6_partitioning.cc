@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 6: HFP vs TCP channel activity on the paper's toy workload --
+ * two requests (one long, one short), two heads, four channels.
+ * Prints the per-channel token loads and the resulting active-channel
+ * fraction under both tensor- and pipeline-parallel organizations.
+ */
+
+#include "bench_util.hh"
+#include "mapping/partition.hh"
+
+using namespace pimphony;
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    const unsigned n_channels = 4;
+
+    // R(1): long context, R(2): short context; 2 heads each.
+    std::vector<AttentionJob> jobs = {
+        {1, 1, 12000}, {1, 2, 12000}, {2, 1, 4000}, {2, 2, 4000}};
+
+    printBanner(std::cout,
+                "Fig. 6(b) vs (d): tensor parallelism, one module of 4 "
+                "channels");
+    {
+        TablePrinter t({"channel", "HFP load (tokens)", "TCP load"});
+        auto hfp = assignHfp(jobs, n_channels);
+        Tokens tcp_per_channel = 0;
+        for (const auto &j : jobs)
+            tcp_per_channel += tcpSliceTokens(j, n_channels);
+        Tokens max_load = 0;
+        for (unsigned c = 0; c < n_channels; ++c) {
+            Tokens load = 0;
+            for (const auto &j : hfp[c])
+                load += j.tokens;
+            max_load = std::max(max_load, load);
+            t.addRow({"CH" + TablePrinter::fmtInt(c),
+                      TablePrinter::fmtInt(load),
+                      TablePrinter::fmtInt(tcp_per_channel)});
+        }
+        t.print(std::cout);
+        std::cout << "  HFP makespan " << max_load
+                  << " tokens vs TCP " << tcp_per_channel
+                  << " tokens (balance gain "
+                  << bench::fmtSpeedup(
+                         static_cast<double>(max_load) /
+                         static_cast<double>(tcp_per_channel))
+                  << ")\n";
+    }
+
+    printBanner(std::cout,
+                "Fig. 6(c) vs (e): pipeline parallelism, stage holds one "
+                "request at a time");
+    {
+        TablePrinter t({"stage occupant", "HFP active channels",
+                        "TCP active channels"});
+        for (RequestId r = 1; r <= 2; ++r) {
+            std::vector<AttentionJob> stage_jobs;
+            for (const auto &j : jobs)
+                if (j.request == r)
+                    stage_jobs.push_back(j);
+            auto hfp = assignHfp(stage_jobs, n_channels);
+            unsigned active = 0;
+            for (const auto &ch : hfp)
+                if (!ch.empty())
+                    ++active;
+            t.addRow({"R(" + TablePrinter::fmtInt(r) + ")",
+                      TablePrinter::fmtInt(active) + "/4",
+                      "4/4"});
+        }
+        t.print(std::cout);
+    }
+
+    printBanner(std::cout, "TCP full-activation threshold");
+    std::cout << "  16-channel module: QK^T fully active beyond "
+              << tcpFullActivationTokens(16)
+              << " tokens (paper: 256)\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 8: latency breakdown across matrix dimensions under the
+ * static controller (baseline OutRegs). As (d_in, d_out) shrink
+ * toward the attention head dimension (128), I/O transfers and
+ * pipeline stalls dominate and MAC utilization collapses (the paper
+ * measures 14.7% at 128).
+ */
+
+#include "bench_util.hh"
+#include "kernels/kernel_sim.hh"
+
+using namespace pimphony;
+
+namespace {
+
+void
+sweep(SchedulerKind sched, const char *title, unsigned obuf)
+{
+    printBanner(std::cout, title);
+    TablePrinter t({"(din,dout)", "cycles", "MAC", "ACT/PRE", "REF",
+                    "DT-GBuf", "DT-OutReg", "PipelinePenalty",
+                    "MAC util"});
+    AimTimingParams params = AimTimingParams::aimxWithObuf(obuf);
+    if (obuf <= 1)
+        params = AimTimingParams::aimx();
+    for (std::uint64_t d : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+        auto spec = GemvSpec::fromDims(d, d);
+        auto r = simulateKernel(KernelRequest::makeGemv(spec, sched),
+                                params);
+        auto pct = [&](Cycle c) {
+            return TablePrinter::fmtPercent(
+                static_cast<double>(c) /
+                static_cast<double>(r.makespan));
+        };
+        t.addRow({TablePrinter::fmtInt(d) + "x" + TablePrinter::fmtInt(d),
+                  TablePrinter::fmtInt(r.makespan),
+                  pct(r.breakdown.macCycles),
+                  pct(r.breakdown.actPreCycles),
+                  pct(r.breakdown.refreshCycles),
+                  pct(r.breakdown.dtGbufCycles),
+                  pct(r.breakdown.dtOutregCycles),
+                  pct(r.breakdown.pipelinePenaltyCycles),
+                  TablePrinter::fmtPercent(r.macUtilization)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    sweep(SchedulerKind::Static,
+          "Fig. 8: latency breakdown vs matrix dims -- static "
+          "scheduler, single OutReg (baseline)",
+          1);
+    sweep(SchedulerKind::Dcs,
+          "Reference: same sweep with DCS + I/O-aware buffering "
+          "(PIMphony)",
+          16);
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: command
+ * scheduling throughput per controller, kernel generation, and the
+ * kernel cache. These guard the simulator's own performance, which
+ * bounds how large a sweep the figure harnesses can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/kernel_sim.hh"
+
+using namespace pimphony;
+
+namespace {
+
+AttentionSpec
+benchSpec(Tokens tokens)
+{
+    AttentionSpec spec;
+    spec.tokens = tokens;
+    spec.headDim = 128;
+    spec.gqaGroup = 4;
+    spec.rowReuse = true;
+    return spec;
+}
+
+void
+BM_BuildQktStream(benchmark::State &state)
+{
+    auto params = AimTimingParams::aimxWithObuf(16);
+    auto spec = benchSpec(static_cast<Tokens>(state.range(0)));
+    for (auto _ : state) {
+        auto s = buildQktStream(spec, params);
+        benchmark::DoNotOptimize(s.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildQktStream)->Arg(4096)->Arg(32768);
+
+void
+BM_ScheduleStatic(benchmark::State &state)
+{
+    auto params = AimTimingParams::aimx();
+    auto stream = buildQktStream(benchSpec(
+        static_cast<Tokens>(state.range(0))), params);
+    auto sched = makeScheduler(SchedulerKind::Static, params);
+    for (auto _ : state) {
+        auto r = sched->schedule(stream);
+        benchmark::DoNotOptimize(r.makespan);
+    }
+    state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_ScheduleStatic)->Arg(4096)->Arg(32768);
+
+void
+BM_ScheduleDcs(benchmark::State &state)
+{
+    auto params = AimTimingParams::aimxWithObuf(16);
+    auto stream = buildQktStream(benchSpec(
+        static_cast<Tokens>(state.range(0))), params);
+    auto sched = makeScheduler(SchedulerKind::Dcs, params);
+    for (auto _ : state) {
+        auto r = sched->schedule(stream);
+        benchmark::DoNotOptimize(r.makespan);
+    }
+    state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_ScheduleDcs)->Arg(4096)->Arg(32768);
+
+void
+BM_SchedulePingPong(benchmark::State &state)
+{
+    auto params = AimTimingParams::aimxWithObuf(16);
+    auto stream = buildQktStream(benchSpec(
+        static_cast<Tokens>(state.range(0))), params, true);
+    auto sched = makeScheduler(SchedulerKind::PingPong, params);
+    for (auto _ : state) {
+        auto r = sched->schedule(stream);
+        benchmark::DoNotOptimize(r.makespan);
+    }
+    state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_SchedulePingPong)->Arg(4096);
+
+void
+BM_KernelCacheHit(benchmark::State &state)
+{
+    KernelCache cache(AimTimingParams::aimxWithObuf(16));
+    auto req = KernelRequest::makeQkt(benchSpec(16384),
+                                      SchedulerKind::Dcs);
+    cache.get(req); // warm
+    for (auto _ : state) {
+        const auto &r = cache.get(req);
+        benchmark::DoNotOptimize(r.makespan);
+    }
+}
+BENCHMARK(BM_KernelCacheHit);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table I: LLM specifications and context windows.
+ */
+
+#include "bench_util.hh"
+#include "model/llm.hh"
+
+using namespace pimphony;
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    printBanner(std::cout, "Table I: LLM specification and context window");
+
+    TablePrinter t({"Model", "n_l", "n_h", "d_h", "d_model", "d_ffn", "GQA",
+                    "KV heads", "CW", "params", "KV B/token"});
+    for (auto model :
+         {LlmConfig::llm7b(false), LlmConfig::llm7b(true),
+          LlmConfig::llm72b(false), LlmConfig::llm72b(true)}) {
+        t.addRow({model.name, TablePrinter::fmtInt(model.nLayers),
+                  TablePrinter::fmtInt(model.nHeads),
+                  TablePrinter::fmtInt(model.headDim),
+                  TablePrinter::fmtInt(model.dModel),
+                  TablePrinter::fmtInt(model.dFfn),
+                  model.gqaGroup > 1
+                      ? "g=" + TablePrinter::fmtInt(model.gqaGroup)
+                      : "x",
+                  TablePrinter::fmtInt(model.kvHeads()),
+                  TablePrinter::fmtInt(model.contextWindow),
+                  TablePrinter::fmt(
+                      static_cast<double>(model.paramCount()) / 1e9, 2) +
+                      "B",
+                  TablePrinter::fmtInt(model.kvBytesPerToken())});
+    }
+    t.print(std::cout);
+    return 0;
+}

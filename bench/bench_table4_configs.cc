@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table IV: PIMphony module configurations for the two host systems,
+ * plus the deployment sizes of Sec. VIII-A.
+ */
+
+#include "bench_util.hh"
+#include "system/cluster.hh"
+
+using namespace pimphony;
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    printBanner(std::cout, "Table IV: PIMphony module configurations");
+
+    TablePrinter t({"System", "Compute", "Channels/module",
+                    "Memory/module", "Internal BW/module", "7B deploy",
+                    "72B deploy"});
+    {
+        auto c7 = ClusterConfig::centLike(LlmConfig::llm7b(false));
+        auto c72 = ClusterConfig::centLike(LlmConfig::llm72b(false));
+        t.addRow({"CENT-like (PIM-only)", "PNM 3 TFLOPS",
+                  TablePrinter::fmtInt(c7.module.nChannels),
+                  TablePrinter::fmtInt(c7.module.capacityBytes >> 30) +
+                      " GiB",
+                  TablePrinter::fmt(c7.module.internalBandwidth() / 1e12,
+                                    1) +
+                      " TB/s",
+                  TablePrinter::fmtInt(c7.nModules) + " modules (" +
+                      TablePrinter::fmtInt(c7.totalCapacity() >> 30) +
+                      " GiB)",
+                  TablePrinter::fmtInt(c72.nModules) + " modules (" +
+                      TablePrinter::fmtInt(c72.totalCapacity() >> 30) +
+                      " GiB)"});
+    }
+    {
+        auto n7 = ClusterConfig::neupimsLike(LlmConfig::llm7b(false));
+        auto n72 = ClusterConfig::neupimsLike(LlmConfig::llm72b(false));
+        t.addRow({"NeuPIMs-like (xPU+PIM)", "8 MU / 256 TFLOPS",
+                  TablePrinter::fmtInt(n7.module.nChannels),
+                  TablePrinter::fmtInt(n7.module.capacityBytes >> 30) +
+                      " GiB",
+                  TablePrinter::fmt(n7.module.internalBandwidth() / 1e12,
+                                    1) +
+                      " TB/s",
+                  TablePrinter::fmtInt(n7.nModules) + " modules (" +
+                      TablePrinter::fmtInt(n7.totalCapacity() >> 30) +
+                      " GiB)",
+                  TablePrinter::fmtInt(n72.nModules) + " modules (" +
+                      TablePrinter::fmtInt(n72.totalCapacity() >> 30) +
+                      " GiB)"});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ */
+
+#ifndef PIMPHONY_BENCH_BENCH_UTIL_HH
+#define PIMPHONY_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/orchestrator.hh"
+
+namespace pimphony {
+namespace bench {
+
+/** The four cumulative technique stacks every throughput figure uses. */
+inline std::vector<PimphonyOptions>
+cumulativeOptions()
+{
+    return {
+        PimphonyOptions::baseline(),
+        PimphonyOptions{true, false, false},
+        PimphonyOptions{true, true, false},
+        PimphonyOptions{true, true, true},
+    };
+}
+
+inline std::string
+fmtSpeedup(double v)
+{
+    return TablePrinter::fmt(v, 2) + "x";
+}
+
+/** Quiet the log for clean figure output. */
+struct QuietLogs
+{
+    QuietLogs() { setLogThreshold(LogLevel::Warn); }
+};
+
+} // namespace bench
+} // namespace pimphony
+
+#endif // PIMPHONY_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,153 @@
+#include "alloc/kv_allocator.hh"
+
+#include "common/logging.hh"
+
+namespace pimphony {
+
+std::string
+allocatorName(AllocatorKind kind)
+{
+    switch (kind) {
+      case AllocatorKind::Static:    return "static";
+      case AllocatorKind::LazyChunk: return "dpa-lazy";
+    }
+    return "?";
+}
+
+// --- StaticKvAllocator -------------------------------------------------
+
+bool
+StaticKvAllocator::tryAdmit(RequestId id, Tokens tokens)
+{
+    if (tokens_.count(id))
+        panic("request %u admitted twice", id);
+    if (tokens > tMax_)
+        return false; // cannot serve beyond the compiled maximum
+    if (reserved_ + reservationBytes() > capacity_)
+        return false;
+    reserved_ += reservationBytes();
+    tokens_[id] = tokens;
+    ++host_;
+    return true;
+}
+
+bool
+StaticKvAllocator::grow(RequestId id, Tokens tokens)
+{
+    auto it = tokens_.find(id);
+    if (it == tokens_.end())
+        panic("grow on unknown request %u", id);
+    if (tokens > tMax_)
+        return false; // reservation exhausted
+    it->second = tokens;
+    return true; // space was pre-reserved; no host involvement
+}
+
+void
+StaticKvAllocator::release(RequestId id)
+{
+    auto it = tokens_.find(id);
+    if (it == tokens_.end())
+        panic("release on unknown request %u", id);
+    tokens_.erase(it);
+    reserved_ -= reservationBytes();
+    ++host_;
+}
+
+Bytes
+StaticKvAllocator::usedBytes() const
+{
+    Bytes used = 0;
+    for (const auto &[id, tok] : tokens_)
+        used += bytesPerToken_ * tok;
+    return used;
+}
+
+// --- LazyChunkAllocator ------------------------------------------------
+
+LazyChunkAllocator::LazyChunkAllocator(Bytes capacity, Bytes bytes_per_token,
+                                       Tokens t_max, Bytes chunk_bytes)
+    : KvAllocator(capacity, bytes_per_token, t_max), chunk_(chunk_bytes),
+      totalChunks_(capacity / chunk_bytes)
+{
+    if (chunk_bytes == 0)
+        fatal("chunk size must be positive");
+}
+
+std::uint64_t
+LazyChunkAllocator::chunksFor(Tokens tokens) const
+{
+    return ceilDiv<std::uint64_t>(bytesPerToken_ * tokens, chunk_);
+}
+
+bool
+LazyChunkAllocator::tryAdmit(RequestId id, Tokens tokens)
+{
+    if (tokens_.count(id))
+        panic("request %u admitted twice", id);
+    std::uint64_t need = chunksFor(tokens);
+    if (chunksInUse_ + need > totalChunks_)
+        return false;
+    chunksInUse_ += need;
+    chunks_[id] = need;
+    tokens_[id] = tokens;
+    ++host_; // host installs the VA2PA mapping for the new request
+    return true;
+}
+
+bool
+LazyChunkAllocator::grow(RequestId id, Tokens tokens)
+{
+    auto it = tokens_.find(id);
+    if (it == tokens_.end())
+        panic("grow on unknown request %u", id);
+    std::uint64_t have = chunks_[id];
+    std::uint64_t need = chunksFor(tokens);
+    if (need > have) {
+        if (chunksInUse_ + (need - have) > totalChunks_)
+            return false;
+        chunksInUse_ += need - have;
+        chunks_[id] = need;
+        ++host_; // chunk-granular: host touched only on new chunks
+    }
+    it->second = tokens;
+    return true;
+}
+
+void
+LazyChunkAllocator::release(RequestId id)
+{
+    auto it = tokens_.find(id);
+    if (it == tokens_.end())
+        panic("release on unknown request %u", id);
+    chunksInUse_ -= chunks_[id];
+    chunks_.erase(id);
+    tokens_.erase(it);
+    ++host_;
+}
+
+Bytes
+LazyChunkAllocator::usedBytes() const
+{
+    Bytes used = 0;
+    for (const auto &[id, tok] : tokens_)
+        used += bytesPerToken_ * tok;
+    return used;
+}
+
+std::unique_ptr<KvAllocator>
+makeAllocator(AllocatorKind kind, Bytes capacity, Bytes bytes_per_token,
+              Tokens t_max)
+{
+    switch (kind) {
+      case AllocatorKind::Static:
+        return std::make_unique<StaticKvAllocator>(capacity,
+                                                   bytes_per_token, t_max);
+      case AllocatorKind::LazyChunk:
+        return std::make_unique<LazyChunkAllocator>(capacity,
+                                                    bytes_per_token, t_max);
+    }
+    panic("unknown allocator kind");
+}
+
+} // namespace pimphony

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Logging and error-reporting primitives in the gem5 tradition.
+ *
+ * panic()  -- an internal invariant was violated; this is a simulator
+ *             bug, never the user's fault. Aborts.
+ * fatal()  -- the simulation cannot continue because of a user-visible
+ *             problem (bad configuration, impossible workload). Exits.
+ * warn()   -- something is modelled approximately; results may be
+ *             affected but execution continues.
+ * inform() -- plain status output.
+ */
+
+#ifndef PIMPHONY_COMMON_LOGGING_HH
+#define PIMPHONY_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pimphony {
+
+/** Severity levels understood by the log sink. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Install a minimum level below which messages are suppressed.
+ * Benches raise this to keep figure output clean.
+ */
+void setLogThreshold(LogLevel level);
+
+/** Current threshold (default LogLevel::Inform). */
+LogLevel logThreshold();
+
+/** printf-style message at the given level; does not terminate. */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Internal invariant violation: print and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** User/config error: print and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Possible modelling shortcut or suspicious condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace pimphony
+
+#endif // PIMPHONY_COMMON_LOGGING_HH

@@ -1,0 +1,124 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pimphony {
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+}
+
+double
+Rng::normal()
+{
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+TruncatedNormal::TruncatedNormal(double mean, double stddev, double lo,
+                                 double hi)
+    : mean_(mean), stddev_(stddev), lo_(lo), hi_(hi)
+{
+    if (hi <= lo)
+        panic("TruncatedNormal requires hi > lo");
+    if (stddev < 0.0)
+        panic("TruncatedNormal requires stddev >= 0");
+}
+
+double
+TruncatedNormal::sample(Rng &rng) const
+{
+    if (stddev_ == 0.0)
+        return std::clamp(mean_, lo_, hi_);
+    // Rejection sampling; the Table II windows keep acceptance high.
+    for (int i = 0; i < 1024; ++i) {
+        double v = mean_ + stddev_ * rng.normal();
+        if (v >= lo_ && v <= hi_)
+            return v;
+    }
+    // Pathological parameters: fall back to clamping.
+    return std::clamp(mean_ + stddev_ * rng.normal(), lo_, hi_);
+}
+
+namespace {
+
+/**
+ * Mean and stddev of a lognormal(mu, sigma) truncated to [lo, hi],
+ * by Simpson integration over log space.
+ */
+void
+truncatedLognormalMoments(double mu, double sigma, double lo, double hi,
+                          double &mean_out, double &std_out)
+{
+    const int n = 400; // even
+    double a = std::log(lo), b = std::log(hi);
+    double h = (b - a) / n;
+    double w0 = 0.0, w1 = 0.0, w2 = 0.0;
+    for (int i = 0; i <= n; ++i) {
+        double y = a + h * i;
+        double z = (y - mu) / sigma;
+        double pdf = std::exp(-0.5 * z * z);
+        double x = std::exp(y);
+        double coeff = (i == 0 || i == n) ? 1.0 : (i % 2 ? 4.0 : 2.0);
+        w0 += coeff * pdf;
+        w1 += coeff * pdf * x;
+        w2 += coeff * pdf * x * x;
+    }
+    double m1 = w1 / w0;
+    double m2 = w2 / w0;
+    mean_out = m1;
+    double var = m2 - m1 * m1;
+    std_out = var > 0 ? std::sqrt(var) : 0.0;
+}
+
+} // namespace
+
+TruncatedLognormal::TruncatedLognormal(double mean, double stddev, double lo,
+                                       double hi)
+    : lo_(lo), hi_(hi)
+{
+    if (mean <= 0.0 || hi <= lo || lo <= 0.0)
+        panic("TruncatedLognormal requires mean > 0 and hi > lo > 0");
+    double cv2 = (stddev / mean) * (stddev / mean);
+    sigma_ = std::sqrt(std::log1p(cv2));
+    mu_ = std::log(mean) - 0.5 * sigma_ * sigma_;
+    if (stddev <= 0.0)
+        return;
+    // Truncation shrinks both moments; fit (mu, sigma) so the
+    // *truncated* distribution matches the published statistics.
+    for (int it = 0; it < 60; ++it) {
+        double m, s;
+        truncatedLognormalMoments(mu_, sigma_, lo_, hi_, m, s);
+        if (m <= 0 || s <= 0)
+            break;
+        double dm = std::log(mean / m);
+        double ds = stddev / s;
+        mu_ += 0.8 * dm;
+        sigma_ *= std::min(1.5, std::max(0.67, std::pow(ds, 0.8)));
+        if (std::abs(dm) < 1e-4 && std::abs(ds - 1.0) < 1e-3)
+            break;
+    }
+}
+
+double
+TruncatedLognormal::sample(Rng &rng) const
+{
+    for (int i = 0; i < 1024; ++i) {
+        double v = std::exp(mu_ + sigma_ * rng.normal());
+        if (v >= lo_ && v <= hi_)
+            return v;
+    }
+    return std::clamp(std::exp(mu_), lo_, hi_);
+}
+
+} // namespace pimphony

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Small statistics toolkit: accumulators and fixed-bin histograms.
+ *
+ * Used both by the simulator (utilization, latency breakdowns) and by
+ * the workload generator tests that check Table II moments.
+ */
+
+#ifndef PIMPHONY_COMMON_STATS_HH
+#define PIMPHONY_COMMON_STATS_HH
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pimphony {
+
+/**
+ * Streaming accumulator for mean / variance / extrema (Welford).
+ */
+class StatAccumulator
+{
+  public:
+    void
+    add(double v)
+    {
+        ++count_;
+        double delta = v - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (v - mean_);
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+        sum_ += v;
+    }
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double stddev() const;
+
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void reset();
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram over [lo, hi) with uniformly sized bins; out-of-range
+ * samples land in the boundary bins.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double v);
+
+    std::size_t binCount() const { return counts_.size(); }
+    std::size_t binSamples(std::size_t bin) const;
+    double binLow(std::size_t bin) const;
+    double binHigh(std::size_t bin) const;
+    std::size_t totalSamples() const { return total_; }
+
+    /** Value below which @p q of the mass lies (bin midpoint). */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/**
+ * Utility: ratio with a guard against zero denominators.
+ */
+inline double
+safeRatio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+} // namespace pimphony
+
+#endif // PIMPHONY_COMMON_STATS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harness to reproduce the
+ * rows/series the paper's tables and figures report.
+ */
+
+#ifndef PIMPHONY_COMMON_TABLE_HH
+#define PIMPHONY_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pimphony {
+
+/**
+ * Collects rows of string cells and renders them with aligned columns.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; it may have fewer cells than there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to @p os with a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Format helpers for numeric cells. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmtInt(std::uint64_t v);
+    static std::string fmtPercent(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a figure/table banner ("=== Fig. 13 ... ==="). */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace pimphony
+
+#endif // PIMPHONY_COMMON_TABLE_HH

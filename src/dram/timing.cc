@@ -1,0 +1,35 @@
+#include "dram/timing.hh"
+
+namespace pimphony {
+
+AimTimingParams
+AimTimingParams::aimx()
+{
+    return AimTimingParams{};
+}
+
+AimTimingParams
+AimTimingParams::aimxWithObuf(unsigned obuf_entries)
+{
+    AimTimingParams p;
+    p.outputEntries = obuf_entries;
+    return p;
+}
+
+AimTimingParams
+AimTimingParams::illustrative()
+{
+    AimTimingParams p;
+    p.tCcds = 2;
+    p.tWrInp = 4;
+    p.tMac = 3;
+    p.tRdOut = 4;
+    p.tRcdRd = 0;
+    p.tRp = 0;
+    p.tRefi = 0; // disable refresh for the worked example
+    p.tRfc = 0;
+    p.outputEntries = 4;
+    return p;
+}
+
+} // namespace pimphony

@@ -1,0 +1,27 @@
+#include "hub/epu.hh"
+
+#include "common/units.hh"
+
+namespace pimphony {
+
+Cycle
+EpuModel::softmaxCycles(std::uint64_t elements) const
+{
+    if (elements == 0)
+        return 0;
+    Cycle per_pass = ceilDiv<std::uint64_t>(elements, params_.lanes);
+    return params_.fixedCycles + params_.softmaxPasses * per_pass;
+}
+
+Cycle
+EpuModel::reduceCycles(std::uint64_t partials, std::uint64_t elements) const
+{
+    if (partials <= 1 || elements == 0)
+        return 0;
+    // (partials - 1) pairwise adds over vectors of `elements`.
+    Cycle adds = (partials - 1) *
+                 ceilDiv<std::uint64_t>(elements, params_.lanes);
+    return params_.fixedCycles + adds;
+}
+
+} // namespace pimphony

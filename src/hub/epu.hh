@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Extra Processing Unit (EPU) latency model.
+ *
+ * The EPU in the PIM HUB performs the auxiliary vector work of
+ * attention: softmax over the QK^T scores (gathered from all
+ * channels' output registers through the GPR) and the inter-channel
+ * partial-sum reductions TCP and the partial-drain GEMV dataflow
+ * produce.
+ */
+
+#ifndef PIMPHONY_HUB_EPU_HH
+#define PIMPHONY_HUB_EPU_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pimphony {
+
+struct EpuParams
+{
+    /** SIMD lanes (elements processed per cycle). */
+    unsigned lanes = 16;
+
+    /** Fixed cost per invocation (pipeline fill, LUT setup). */
+    Cycle fixedCycles = 32;
+
+    /** Passes over the data for a softmax (max, exp/sum, scale). */
+    unsigned softmaxPasses = 3;
+};
+
+class EpuModel
+{
+  public:
+    explicit EpuModel(const EpuParams &params = {}) : params_(params) {}
+
+    /** Softmax over @p elements scores. */
+    Cycle softmaxCycles(std::uint64_t elements) const;
+
+    /**
+     * Reduce @p partials vectors of @p elements each into one
+     * (tree reduction, one add pass per level).
+     */
+    Cycle reduceCycles(std::uint64_t partials,
+                       std::uint64_t elements) const;
+
+    const EpuParams &params() const { return params_; }
+
+  private:
+    EpuParams params_;
+};
+
+} // namespace pimphony
+
+#endif // PIMPHONY_HUB_EPU_HH

@@ -1,0 +1,39 @@
+#include "hub/sequencer.hh"
+
+#include "common/units.hh"
+
+namespace pimphony {
+
+bool
+InstructionSequencer::fits(const std::vector<PimInstruction> &program) const
+{
+    return programBytes(program) <= params_.bufferBytes;
+}
+
+std::uint64_t
+InstructionSequencer::refills(
+    const std::vector<PimInstruction> &program) const
+{
+    Bytes total = programBytes(program);
+    if (total <= params_.bufferBytes)
+        return 0;
+    return ceilDiv<Bytes>(total, params_.bufferBytes) - 1;
+}
+
+CommandStream
+InstructionSequencer::expandProgram(
+    const std::vector<PimInstruction> &program) const
+{
+    CommandStream stream;
+    std::int32_t group = 0;
+    for (const auto &instr : program) {
+        for (auto cmd : expandInstruction(instr)) {
+            cmd.group = group;
+            stream.append(cmd);
+        }
+        ++group;
+    }
+    return stream;
+}
+
+} // namespace pimphony

@@ -1,0 +1,189 @@
+#include "isa/dpa.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace pimphony {
+
+void
+DpaProgram::pushInstr(const PimInstruction &instr)
+{
+    DpaOp op;
+    op.kind = DpaOpKind::Instr;
+    op.instr = instr;
+    ops_.push_back(op);
+}
+
+void
+DpaProgram::pushDynLoop(LoopBound bound, std::uint64_t const_bound,
+                        std::uint64_t tokens_divisor)
+{
+    if (bound == LoopBound::TokensDiv && tokens_divisor == 0)
+        panic("Dyn-Loop with zero tokens divisor");
+    DpaOp op;
+    op.kind = DpaOpKind::DynLoop;
+    op.bound = bound;
+    op.constBound = const_bound;
+    op.tokensDivisor = tokens_divisor;
+    ops_.push_back(op);
+}
+
+void
+DpaProgram::pushDynModi(ModiField field, std::int64_t stride)
+{
+    DpaOp op;
+    op.kind = DpaOpKind::DynModi;
+    op.field = field;
+    op.stride = stride;
+    ops_.push_back(op);
+}
+
+void
+DpaProgram::pushEndLoop()
+{
+    DpaOp op;
+    op.kind = DpaOpKind::EndLoop;
+    ops_.push_back(op);
+}
+
+Bytes
+DpaProgram::encodedBytes() const
+{
+    return static_cast<Bytes>(ops_.size()) * kInstructionBytes;
+}
+
+namespace {
+
+/** Per-iteration operand offsets accumulated by Dyn-Modi ops. */
+struct ModiState
+{
+    std::int64_t row = 0;
+    std::int64_t col = 0;
+    std::int64_t gbuf = 0;
+    std::int64_t out = 0;
+    std::int64_t gpr = 0;
+
+    void
+    apply(ModiField field, std::int64_t delta)
+    {
+        switch (field) {
+          case ModiField::Row:     row += delta; break;
+          case ModiField::Col:     col += delta; break;
+          case ModiField::GbufIdx: gbuf += delta; break;
+          case ModiField::OutIdx:  out += delta; break;
+          case ModiField::GprAddr: gpr += delta; break;
+        }
+    }
+};
+
+PimInstruction
+offsetInstruction(const PimInstruction &base, const ModiState &m,
+                  const std::function<RowIndex(RowIndex)> &translate)
+{
+    PimInstruction i = base;
+    if (i.row != kNoRow)
+        i.row += m.row;
+    if (i.col >= 0)
+        i.col += static_cast<std::int32_t>(m.col);
+    if (i.gbufIdx >= 0)
+        i.gbufIdx += static_cast<std::int32_t>(m.gbuf);
+    if (i.outIdx >= 0)
+        i.outIdx += static_cast<std::int32_t>(m.out);
+    i.gprAddr += static_cast<std::uint64_t>(m.gpr);
+    if (translate && i.kind == CommandKind::Mac && i.row != kNoRow)
+        i.row = translate(i.row);
+    return i;
+}
+
+} // namespace
+
+std::vector<PimInstruction>
+DpaProgram::expand(Tokens tokens,
+                   const std::function<RowIndex(RowIndex)> &translate) const
+{
+    std::vector<PimInstruction> out;
+
+    // Recursive-descent interpretation over the op list.
+    std::function<std::size_t(std::size_t, ModiState)> run =
+        [&](std::size_t pc, ModiState outer) -> std::size_t {
+        // Per-loop-body Dyn-Modi strides, applied cumulatively per
+        // iteration on top of the enclosing scope's offsets.
+        std::size_t start = pc;
+        (void)start;
+        while (pc < ops_.size()) {
+            const DpaOp &op = ops_[pc];
+            switch (op.kind) {
+              case DpaOpKind::Instr:
+                out.push_back(offsetInstruction(op.instr, outer, translate));
+                ++pc;
+                break;
+              case DpaOpKind::DynModi:
+                // Strides are advanced once per enclosing Dyn-Loop
+                // iteration (see the re-scan below); iteration i sees
+                // an accumulated offset of i * stride. A Dyn-Modi
+                // outside any loop is a no-op by construction.
+                ++pc;
+                break;
+              case DpaOpKind::DynLoop: {
+                std::uint64_t trip = op.bound == LoopBound::Constant
+                    ? op.constBound
+                    : ceilDiv<std::uint64_t>(tokens, op.tokensDivisor);
+                // Gather the body's per-iteration strides: Dyn-Modi
+                // ops directly inside the body advance the offsets on
+                // every iteration.
+                std::size_t body = pc + 1;
+                std::size_t after = body;
+                ModiState iter = outer;
+                for (std::uint64_t it = 0; it < trip; ++it) {
+                    after = run(body, iter);
+                    // Re-scan the body's top-level Dyn-Modi strides to
+                    // advance the iteration state.
+                    std::size_t scan = body;
+                    int depth = 0;
+                    while (scan < ops_.size()) {
+                        const DpaOp &b = ops_[scan];
+                        if (b.kind == DpaOpKind::DynLoop) {
+                            ++depth;
+                        } else if (b.kind == DpaOpKind::EndLoop) {
+                            if (depth == 0)
+                                break;
+                            --depth;
+                        } else if (b.kind == DpaOpKind::DynModi &&
+                                   depth == 0) {
+                            iter.apply(b.field, b.stride);
+                        }
+                        ++scan;
+                    }
+                }
+                if (trip == 0) {
+                    // Skip the body entirely.
+                    std::size_t scan = pc + 1;
+                    int depth = 0;
+                    while (scan < ops_.size()) {
+                        if (ops_[scan].kind == DpaOpKind::DynLoop)
+                            ++depth;
+                        else if (ops_[scan].kind == DpaOpKind::EndLoop) {
+                            if (depth == 0)
+                                break;
+                            --depth;
+                        }
+                        ++scan;
+                    }
+                    after = scan;
+                }
+                pc = after + 1;
+                break;
+              }
+              case DpaOpKind::EndLoop:
+                return pc;
+            }
+        }
+        return pc;
+    };
+
+    ModiState root;
+    run(0, root);
+    return out;
+}
+
+} // namespace pimphony

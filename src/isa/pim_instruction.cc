@@ -1,0 +1,103 @@
+#include "isa/pim_instruction.hh"
+
+#include "common/logging.hh"
+
+namespace pimphony {
+
+PimInstruction
+PimInstruction::wrInp(std::uint32_t ch_mask, std::uint32_t op_size,
+                      std::uint64_t gpr_addr, std::int32_t gbuf_idx)
+{
+    PimInstruction i;
+    i.kind = CommandKind::WrInp;
+    i.chMask = ch_mask;
+    i.opSize = op_size;
+    i.gprAddr = gpr_addr;
+    i.gbufIdx = gbuf_idx;
+    return i;
+}
+
+PimInstruction
+PimInstruction::mac(std::uint32_t ch_mask, std::uint32_t op_size,
+                    std::int32_t gbuf_idx, std::int32_t out_idx, RowIndex row,
+                    std::int32_t col, std::int32_t cols_per_row)
+{
+    PimInstruction i;
+    i.kind = CommandKind::Mac;
+    i.chMask = ch_mask;
+    i.opSize = op_size;
+    i.gbufIdx = gbuf_idx;
+    i.outIdx = out_idx;
+    i.row = row;
+    i.col = col;
+    i.colsPerRow = cols_per_row;
+    return i;
+}
+
+PimInstruction
+PimInstruction::rdOut(std::uint32_t ch_mask, std::uint32_t op_size,
+                      std::uint64_t gpr_addr, std::int32_t out_idx)
+{
+    PimInstruction i;
+    i.kind = CommandKind::RdOut;
+    i.chMask = ch_mask;
+    i.opSize = op_size;
+    i.gprAddr = gpr_addr;
+    i.outIdx = out_idx;
+    return i;
+}
+
+std::vector<PimCommand>
+expandInstruction(const PimInstruction &instr)
+{
+    if (instr.opSize == 0)
+        panic("instruction with Op-size 0");
+
+    std::vector<PimCommand> out;
+    out.reserve(instr.opSize);
+    for (std::uint32_t rep = 0; rep < instr.opSize; ++rep) {
+        switch (instr.kind) {
+          case CommandKind::WrInp:
+            out.push_back(PimCommand::wrInp(
+                instr.gbufIdx + static_cast<std::int32_t>(rep)));
+            break;
+          case CommandKind::Mac: {
+            if (instr.colsPerRow <= 0)
+                panic("MAC instruction with colsPerRow <= 0");
+            std::int64_t flat = instr.col + static_cast<std::int64_t>(rep);
+            RowIndex row = instr.row + flat / instr.colsPerRow;
+            std::int32_t col =
+                static_cast<std::int32_t>(flat % instr.colsPerRow);
+            // Consecutive MACs of one unrolled instruction advance the
+            // GBuf entry and the weight column together (one dot
+            // product accumulating into the shared output entry).
+            out.push_back(PimCommand::mac(
+                instr.gbufIdx + static_cast<std::int32_t>(rep),
+                instr.outIdx, row, col));
+            break;
+          }
+          case CommandKind::RdOut:
+            out.push_back(PimCommand::rdOut(
+                instr.outIdx + static_cast<std::int32_t>(rep)));
+            break;
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+expandedCommandCount(const std::vector<PimInstruction> &program)
+{
+    std::uint64_t n = 0;
+    for (const auto &i : program)
+        n += i.opSize;
+    return n;
+}
+
+Bytes
+programBytes(const std::vector<PimInstruction> &program)
+{
+    return static_cast<Bytes>(program.size()) * kInstructionBytes;
+}
+
+} // namespace pimphony

@@ -1,0 +1,64 @@
+#include "kernels/dataflow.hh"
+
+#include "common/logging.hh"
+
+namespace pimphony {
+
+std::vector<DrainRecord>
+replayDataflow(const CommandStream &stream, const AimTimingParams &params)
+{
+    std::uint64_t per_row =
+        params.rowBytesPerChannel() / params.macBytesPerCommand();
+    if (per_row == 0)
+        per_row = 1;
+
+    std::vector<std::int32_t> gbuf(params.gbufEntries, -1);
+    unsigned outs = params.outputEntries == 0 ? 1 : params.outputEntries;
+    std::vector<std::vector<Product>> acc(outs);
+    std::vector<DrainRecord> drains;
+
+    for (const auto &c : stream.commands()) {
+        switch (c.kind) {
+          case CommandKind::WrInp:
+            if (c.src < 0)
+                panic("WR-INP %llu carries no source tile id",
+                      static_cast<unsigned long long>(c.id));
+            gbuf[static_cast<std::size_t>(c.gbufIdx)] = c.src;
+            break;
+          case CommandKind::Mac: {
+            std::int32_t src =
+                gbuf[static_cast<std::size_t>(c.gbufIdx)];
+            if (src < 0)
+                panic("MAC %llu reads GBuf entry %d before any WR-INP",
+                      static_cast<unsigned long long>(c.id), c.gbufIdx);
+            std::uint64_t pos =
+                static_cast<std::uint64_t>(c.row) * per_row +
+                static_cast<std::uint64_t>(c.col);
+            acc[static_cast<std::size_t>(c.outIdx)].push_back(
+                {src, pos});
+            break;
+          }
+          case CommandKind::RdOut: {
+            auto &a = acc[static_cast<std::size_t>(c.outIdx)];
+            if (a.empty())
+                panic("RD-OUT %llu drains empty accumulator %d",
+                      static_cast<unsigned long long>(c.id), c.outIdx);
+            DrainRecord rec;
+            rec.outEntry = c.outIdx;
+            rec.products = std::move(a);
+            a.clear();
+            drains.push_back(std::move(rec));
+            break;
+          }
+        }
+    }
+
+    for (std::size_t o = 0; o < acc.size(); ++o)
+        if (!acc[o].empty())
+            panic("stream ends with un-drained accumulator %zu (%zu "
+                  "products)",
+                  o, acc[o].size());
+    return drains;
+}
+
+} // namespace pimphony

@@ -1,0 +1,218 @@
+#include "kernels/gemv.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace pimphony {
+
+GemvSpec
+GemvSpec::fromDims(std::uint64_t dout, std::uint64_t din)
+{
+    GemvSpec s;
+    s.doutGroups = static_cast<std::uint32_t>(ceilDiv<std::uint64_t>(
+        dout, 16));
+    s.dinTiles = static_cast<std::uint32_t>(ceilDiv<std::uint64_t>(
+        din, 16));
+    return s;
+}
+
+namespace {
+
+/** Emission context carrying buffer cursors and group numbering. */
+struct Emitter
+{
+    CommandStream stream;
+    const AimTimingParams &params;
+    bool pingpong;
+    std::int32_t nextGroup = 0;
+    std::uint64_t macsEmitted = 0;
+
+    explicit Emitter(const AimTimingParams &p, bool pp)
+        : params(p), pingpong(pp)
+    {
+    }
+
+    unsigned
+    gbufCap() const
+    {
+        return pingpong ? params.gbufEntries / 2 : params.gbufEntries;
+    }
+
+    unsigned
+    outCap() const
+    {
+        unsigned cap =
+            pingpong ? params.outputEntries / 2 : params.outputEntries;
+        return cap == 0 ? 1 : cap;
+    }
+
+    /** MACs that fit in one open row across the channel. */
+    std::uint64_t
+    macsPerRow() const
+    {
+        std::uint64_t per =
+            params.rowBytesPerChannel() / params.macBytesPerCommand();
+        return per == 0 ? 1 : per;
+    }
+
+    void
+    push(PimCommand cmd, std::int32_t group, int region)
+    {
+        cmd.group = group;
+        cmd.region = pingpong ? static_cast<std::int8_t>(region & 1) : -1;
+        stream.append(cmd);
+    }
+
+    /**
+     * Map an abstract output slot to a concrete entry. In ping-pong
+     * mode each region owns one half of the output entries, so the
+     * slot also determines the region of the commands touching it.
+     */
+    std::int32_t
+    outEntry(std::uint64_t slot, int region) const
+    {
+        unsigned half = outCap();
+        if (!pingpong || params.outputEntries < 2)
+            return static_cast<std::int32_t>(slot % half);
+        return static_cast<std::int32_t>((region & 1) * half +
+                                         slot % half);
+    }
+
+    /** Write @p count tiles into GBuf starting at @p base; the i-th
+     *  command carries logical source tile @p src_base + i. */
+    void
+    writeInputs(unsigned base, unsigned count, int region,
+                std::int64_t src_base = 0)
+    {
+        std::int32_t grp = nextGroup++;
+        for (unsigned i = 0; i < count; ++i) {
+            auto cmd =
+                PimCommand::wrInp(static_cast<std::int32_t>(base + i));
+            cmd.src = static_cast<std::int32_t>(src_base + i);
+            push(cmd, grp, region);
+        }
+    }
+
+    /**
+     * One accumulation run: @p count MACs into output entry @p out,
+     * reading GBuf entries base..base+count-1, rows advancing
+     * sequentially (row-reuse layout).
+     */
+    void
+    macRun(unsigned gbuf_base, unsigned count, std::int32_t out, int region)
+    {
+        std::int32_t grp = nextGroup++;
+        std::uint64_t per_row = macsPerRow();
+        for (unsigned i = 0; i < count; ++i) {
+            RowIndex row = static_cast<RowIndex>(macsEmitted / per_row);
+            std::int32_t col =
+                static_cast<std::int32_t>(macsEmitted % per_row);
+            push(PimCommand::mac(static_cast<std::int32_t>(gbuf_base + i),
+                                 out, row, col),
+                 grp, region);
+            ++macsEmitted;
+        }
+    }
+
+    void
+    drain(std::int32_t out, int region, std::int32_t grp)
+    {
+        push(PimCommand::rdOut(out), grp, region);
+    }
+};
+
+} // namespace
+
+CommandStream
+buildGemvStream(const GemvSpec &spec, const AimTimingParams &params,
+                bool pingpong)
+{
+    if (spec.doutGroups == 0 || spec.dinTiles == 0)
+        panic("GEMV spec with zero extent");
+
+    Emitter em(params, pingpong);
+    unsigned gcap = em.gbufCap();
+    unsigned ocap = em.outCap();
+
+    if (spec.dinTiles <= gcap) {
+        // Input-resident: one write pass, then batched output groups.
+        // The output side ping-pongs by alternating batch regions.
+        em.writeInputs(0, spec.dinTiles, 0);
+        std::uint32_t batch_idx = 0;
+        for (std::uint32_t g0 = 0; g0 < spec.doutGroups;
+             g0 += ocap, ++batch_idx) {
+            int region = static_cast<int>(batch_idx % 2);
+            std::uint32_t batch =
+                std::min<std::uint32_t>(ocap, spec.doutGroups - g0);
+            for (std::uint32_t b = 0; b < batch; ++b)
+                em.macRun(0, spec.dinTiles, em.outEntry(b, region),
+                          region);
+            std::int32_t grp = em.nextGroup++;
+            for (std::uint32_t b = 0; b < batch; ++b)
+                em.drain(em.outEntry(b, region), region, grp);
+        }
+        return std::move(em.stream);
+    }
+
+    // Input-streaming: blocks of half the full GBuf, alternating
+    // halves (software double buffering; in ping-pong mode each half
+    // is one region).
+    unsigned block = std::max(1u, params.gbufEntries / 2);
+    std::uint32_t n_blocks = ceilDiv<std::uint32_t>(spec.dinTiles, block);
+
+    if (spec.doutGroups <= ocap) {
+        // All output groups accumulate in place across blocks.
+        for (std::uint32_t blk = 0; blk < n_blocks; ++blk) {
+            unsigned tiles = std::min<std::uint32_t>(
+                block, spec.dinTiles - blk * block);
+            unsigned base = (blk % 2) * block;
+            em.writeInputs(base, tiles, blk % 2,
+                           static_cast<std::int64_t>(blk) * block);
+            for (std::uint32_t g = 0; g < spec.doutGroups; ++g)
+                em.macRun(base, tiles, static_cast<std::int32_t>(g),
+                          blk % 2);
+        }
+        std::int32_t grp = em.nextGroup++;
+        for (std::uint32_t g = 0; g < spec.doutGroups; ++g)
+            em.drain(static_cast<std::int32_t>(g), (n_blocks - 1) % 2, grp);
+        return std::move(em.stream);
+    }
+
+    // Partial-drain dataflow: per block, every output group produces
+    // a partial sum that is drained and reduced by the EPU.
+    for (std::uint32_t blk = 0; blk < n_blocks; ++blk) {
+        unsigned tiles =
+            std::min<std::uint32_t>(block, spec.dinTiles - blk * block);
+        unsigned base = (blk % 2) * block;
+        int region = blk % 2;
+        em.writeInputs(base, tiles, region,
+                       static_cast<std::int64_t>(blk) * block);
+        for (std::uint32_t g0 = 0; g0 < spec.doutGroups; g0 += ocap) {
+            std::uint32_t batch =
+                std::min<std::uint32_t>(ocap, spec.doutGroups - g0);
+            for (std::uint32_t b = 0; b < batch; ++b)
+                em.macRun(base, tiles, em.outEntry(b, region), region);
+            std::int32_t grp = em.nextGroup++;
+            for (std::uint32_t b = 0; b < batch; ++b)
+                em.drain(em.outEntry(b, region), region, grp);
+        }
+    }
+    return std::move(em.stream);
+}
+
+std::uint64_t
+gemvPartialReductions(const GemvSpec &spec, const AimTimingParams &params)
+{
+    unsigned gcap = params.gbufEntries;
+    unsigned ocap = params.outputEntries == 0 ? 1 : params.outputEntries;
+    if (spec.dinTiles <= gcap || spec.doutGroups <= ocap)
+        return 0;
+    unsigned block = std::max(1u, gcap / 2);
+    std::uint32_t n_blocks = ceilDiv<std::uint32_t>(spec.dinTiles, block);
+    // One partial per (block, group) beyond the first block.
+    return static_cast<std::uint64_t>(n_blocks - 1) * spec.doutGroups;
+}
+
+} // namespace pimphony

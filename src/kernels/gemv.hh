@@ -1,0 +1,65 @@
+/**
+ * @file
+ * GEMV command-stream generator for one PIM channel.
+ *
+ * Dataflow (AiM-style): the 16 banks operate in lock-step; one MAC
+ * command consumes one 32 B input tile from the GBuf and one 32 B
+ * weight tile per bank, accumulating 16 partial outputs (one per
+ * bank). Outputs are therefore produced in groups of 16 ("output
+ * groups"), each requiring dinTiles accumulating MACs before a
+ * RD-OUT drains it.
+ *
+ * The generator adapts the loop structure to the buffer geometry:
+ *
+ *  - input-resident (dinTiles <= GBuf): inputs written once, output
+ *    groups processed in batches of the available output entries;
+ *  - input-streaming (dinTiles > GBuf): inputs streamed in blocks of
+ *    half the GBuf (software double-buffering across the entry
+ *    space); when the output entries cannot hold every group,
+ *    partial sums are drained per block and reduced off-module by
+ *    the EPU (partial-drain dataflow), costing extra RD-OUTs.
+ *
+ * Weight layout is co-designed with the emission order (row-reuse
+ * mapping): consecutive MACs read consecutive DRAM locations, so a
+ * row switch occurs every rowBytesPerChannel / 512 B MACs.
+ */
+
+#ifndef PIMPHONY_KERNELS_GEMV_HH
+#define PIMPHONY_KERNELS_GEMV_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+#include "isa/pim_command.hh"
+
+namespace pimphony {
+
+struct GemvSpec
+{
+    /** Output tile-groups (16 fp16 outputs each). */
+    std::uint32_t doutGroups = 1;
+
+    /** Input tiles (16 fp16 elements each). */
+    std::uint32_t dinTiles = 1;
+
+    /** Derive from element dimensions. */
+    static GemvSpec fromDims(std::uint64_t dout, std::uint64_t din);
+};
+
+/**
+ * Build the per-channel command stream for @p spec.
+ *
+ * @param pingpong tag commands with alternating region ids and halve
+ *        the effective buffer capacities (split-buffer baseline).
+ */
+CommandStream buildGemvStream(const GemvSpec &spec,
+                              const AimTimingParams &params,
+                              bool pingpong = false);
+
+/** Number of extra partial-sum reductions the EPU must perform. */
+std::uint64_t gemvPartialReductions(const GemvSpec &spec,
+                                    const AimTimingParams &params);
+
+} // namespace pimphony
+
+#endif // PIMPHONY_KERNELS_GEMV_HH

@@ -1,0 +1,56 @@
+#include "mapping/parallel.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace pimphony {
+
+std::string
+ParallelPlan::toString() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "(TP=%u,PP=%u)", tp, pp);
+    return buf;
+}
+
+MicroBatching
+planMicroBatches(std::uint32_t batch, unsigned pp)
+{
+    if (pp == 0)
+        panic("pipeline with zero stages");
+    MicroBatching mb;
+    if (batch == 0) {
+        mb.stageBeats = pp;
+        mb.pipelineFill = 0.0;
+        return mb;
+    }
+    if (batch >= pp) {
+        // Enough requests to fill every stage.
+        mb.count = pp;
+        mb.microBatchSize = ceilDiv(batch, static_cast<std::uint32_t>(pp));
+        mb.count = ceilDiv(batch, mb.microBatchSize);
+    } else {
+        mb.microBatchSize = 1;
+        mb.count = batch;
+    }
+    mb.stageBeats = std::max<std::uint32_t>(mb.count, pp);
+    mb.pipelineFill =
+        static_cast<double>(mb.count) / static_cast<double>(mb.stageBeats);
+    return mb;
+}
+
+double
+allReduceSeconds(Bytes bytes, unsigned tp, double link_bytes_per_sec,
+                 double alpha_seconds)
+{
+    if (tp <= 1)
+        return 0.0;
+    // Ring all-reduce: 2(tp-1)/tp of the data crosses each link.
+    double volume = 2.0 * (tp - 1) / tp * static_cast<double>(bytes);
+    return 2.0 * (tp - 1) * alpha_seconds + volume / link_bytes_per_sec;
+}
+
+} // namespace pimphony

@@ -1,0 +1,52 @@
+#include "mapping/partition.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace pimphony {
+
+std::string
+partitioningName(Partitioning p)
+{
+    switch (p) {
+      case Partitioning::Hfp: return "hfp";
+      case Partitioning::Tcp: return "tcp";
+    }
+    return "?";
+}
+
+std::vector<std::vector<AttentionJob>>
+assignHfp(std::vector<AttentionJob> jobs, unsigned n_channels)
+{
+    if (n_channels == 0)
+        panic("assignHfp with zero channels");
+    std::vector<std::vector<AttentionJob>> out(n_channels);
+
+    // Head-first mapping is fixed at compile time: command streams
+    // embed physical addresses, so (request, head) pairs land on
+    // channels by index, blind to each request's actual context
+    // length. This is precisely the imbalance TCP removes; a
+    // load-aware assignment would require the dynamic addressing
+    // that conventional PIM lacks (Sec. IV-A).
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        out[i % n_channels].push_back(jobs[i]);
+    return out;
+}
+
+Tokens
+tcpSliceTokens(const AttentionJob &job, unsigned n_channels)
+{
+    if (n_channels == 0)
+        panic("tcpSliceTokens with zero channels");
+    return ceilDiv<Tokens>(job.tokens, n_channels);
+}
+
+Tokens
+tcpFullActivationTokens(unsigned n_channels)
+{
+    return static_cast<Tokens>(n_channels) * 16;
+}
+
+} // namespace pimphony

@@ -1,0 +1,100 @@
+#include "model/llm.hh"
+
+namespace pimphony {
+
+Bytes
+LlmConfig::kvBytesPerToken() const
+{
+    // K and V vectors per KV head per layer, FP16.
+    return Bytes{2} * nLayers * kvHeads() * headDim * 2;
+}
+
+Bytes
+LlmConfig::kvBytes(Tokens tokens) const
+{
+    return kvBytesPerToken() * tokens;
+}
+
+std::uint64_t
+LlmConfig::paramCount() const
+{
+    // Attention: Q and O projections are d x d; K and V shrink with
+    // GQA. FFN: gated (up, gate, down).
+    std::uint64_t d = dModel;
+    std::uint64_t kv_dim = static_cast<std::uint64_t>(kvHeads()) * headDim;
+    std::uint64_t attn = 2 * d * d + 2 * d * kv_dim;
+    std::uint64_t ffn = 3 * static_cast<std::uint64_t>(dModel) * dFfn;
+    return static_cast<std::uint64_t>(nLayers) * (attn + ffn);
+}
+
+Bytes
+LlmConfig::weightBytes() const
+{
+    return paramCount() * 2; // FP16
+}
+
+double
+LlmConfig::decodeFlopsPerToken(Tokens context) const
+{
+    // 2 FLOPs per weight for every linear layer, plus QK^T and SV
+    // over the context for every query head.
+    double linear = 2.0 * static_cast<double>(paramCount());
+    double attn = 4.0 * nLayers * nHeads * headDim *
+                  static_cast<double>(context);
+    return linear + attn;
+}
+
+double
+LlmConfig::decodeBytesPerToken(Tokens context, std::uint32_t batch) const
+{
+    // Weights are read once per step and shared by the batch; every
+    // request scans its own KV cache end to end.
+    double b = batch == 0 ? 1.0 : static_cast<double>(batch);
+    return static_cast<double>(weightBytes()) / b +
+           static_cast<double>(kvBytes(context));
+}
+
+double
+LlmConfig::computeIntensity(Tokens context, std::uint32_t batch) const
+{
+    return decodeFlopsPerToken(context) /
+           decodeBytesPerToken(context, batch);
+}
+
+Bytes
+LlmConfig::memoryFootprint(Tokens context, std::uint32_t batch) const
+{
+    return weightBytes() + kvBytes(context) * batch;
+}
+
+LlmConfig
+LlmConfig::llm7b(bool gqa)
+{
+    LlmConfig c;
+    c.name = gqa ? "LLM-7B-128K-GQA" : "LLM-7B-32K";
+    c.nLayers = 32;
+    c.nHeads = 32;
+    c.headDim = 128;
+    c.dModel = 4096;
+    c.dFfn = 12288;
+    c.gqaGroup = gqa ? 4 : 1;
+    c.contextWindow = gqa ? 131072 : 32768;
+    return c;
+}
+
+LlmConfig
+LlmConfig::llm72b(bool gqa)
+{
+    LlmConfig c;
+    c.name = gqa ? "LLM-72B-128K-GQA" : "LLM-72B-32K";
+    c.nLayers = 80;
+    c.nHeads = 64;
+    c.headDim = 128;
+    c.dModel = 8192;
+    c.dFfn = 24576;
+    c.gqaGroup = gqa ? 8 : 1;
+    c.contextWindow = gqa ? 131072 : 32768;
+    return c;
+}
+
+} // namespace pimphony

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * LLM model configurations (the paper's Table I) and the analytic
+ * quantities the motivation figures and the serving simulator need:
+ * KV-cache growth, weight footprint, per-token FLOPs and bytes.
+ */
+
+#ifndef PIMPHONY_MODEL_LLM_HH
+#define PIMPHONY_MODEL_LLM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace pimphony {
+
+struct LlmConfig
+{
+    std::string name;
+
+    std::uint32_t nLayers = 32;    ///< n_l
+    std::uint32_t nHeads = 32;     ///< n_h (query heads)
+    std::uint32_t headDim = 128;   ///< d_h
+    std::uint32_t dModel = 4096;   ///< d_in
+    std::uint32_t dFfn = 12288;    ///< d_out of the FFN expansion
+    std::uint32_t gqaGroup = 1;    ///< query heads per KV head (1 = MHA)
+    Tokens contextWindow = 32768;  ///< maximum supported context
+
+    std::uint32_t
+    kvHeads() const
+    {
+        return nHeads / gqaGroup;
+    }
+
+    /** K+V bytes appended per decoded token (FP16). */
+    Bytes kvBytesPerToken() const;
+
+    /** KV-cache bytes for one request at @p tokens context. */
+    Bytes kvBytes(Tokens tokens) const;
+
+    /** Total parameter count of the decoder stack (approximate). */
+    std::uint64_t paramCount() const;
+
+    /** FP16 weight footprint. */
+    Bytes weightBytes() const;
+
+    /** FLOPs to decode one token at context length @p context. */
+    double decodeFlopsPerToken(Tokens context) const;
+
+    /** DRAM bytes touched per decoded token at batch @p batch
+     *  (weights stream once per step and amortize over the batch). */
+    double decodeBytesPerToken(Tokens context,
+                               std::uint32_t batch = 1) const;
+
+    /**
+     * Compute intensity (FLOPs/byte) at @p context (Fig. 2a). The
+     * batched linear layers start compute-rich; the attention scan
+     * pins the asymptote near the GQA group size, so intensity falls
+     * as the context grows.
+     */
+    double computeIntensity(Tokens context,
+                            std::uint32_t batch = 16) const;
+
+    /** Total memory footprint: weights + batch x KV (Fig. 2b). */
+    Bytes memoryFootprint(Tokens context, std::uint32_t batch) const;
+
+    /** Table I presets. */
+    static LlmConfig llm7b(bool gqa);
+    static LlmConfig llm72b(bool gqa);
+};
+
+} // namespace pimphony
+
+#endif // PIMPHONY_MODEL_LLM_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ping-pong (double-buffered) controller, the prior-work baseline of
+ * the paper's Fig. 18.
+ *
+ * The buffers are split into two regions so that I/O transfers on one
+ * region can overlap MAC execution on the other. Because the static
+ * controller tracks no per-entry dependencies, overlap is restricted
+ * to *different* regions, and switching the active region requires
+ * both regions to drain first — the hand-off stalls the paper
+ * contrasts with DCS's entry-level overlap.
+ */
+
+#ifndef PIMPHONY_PIM_PINGPONG_SCHEDULER_HH
+#define PIMPHONY_PIM_PINGPONG_SCHEDULER_HH
+
+#include "pim/scheduler.hh"
+
+namespace pimphony {
+
+class PingPongScheduler : public CommandScheduler
+{
+  public:
+    using CommandScheduler::CommandScheduler;
+
+    /**
+     * Commands must carry region tags (0/1); generators produce them
+     * by blocking work into half-buffer regions (use a KernelConfig
+     * with halved gbuf/output entries).
+     */
+    ScheduleResult schedule(const CommandStream &stream,
+                            bool keep_timeline = false) override;
+};
+
+} // namespace pimphony
+
+#endif // PIMPHONY_PIM_PINGPONG_SCHEDULER_HH

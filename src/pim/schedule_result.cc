@@ -1,0 +1,17 @@
+#include "pim/schedule_result.hh"
+
+namespace pimphony {
+
+LatencyBreakdown &
+LatencyBreakdown::operator+=(const LatencyBreakdown &o)
+{
+    macCycles += o.macCycles;
+    actPreCycles += o.actPreCycles;
+    refreshCycles += o.refreshCycles;
+    dtGbufCycles += o.dtGbufCycles;
+    dtOutregCycles += o.dtOutregCycles;
+    pipelinePenaltyCycles += o.pipelinePenaltyCycles;
+    return *this;
+}
+
+} // namespace pimphony

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Abstract PIM command scheduler interface and factory.
+ *
+ * Three controllers are modelled (Sec. V / Fig. 18 of the paper):
+ *
+ *  - Static: in-order issue with conservative type-based timing gaps
+ *    derived from fixed command execution times; commands unrolled
+ *    from one instruction stream at tCCDS.
+ *  - PingPong: buffers split into two regions; I/O on one region may
+ *    overlap compute on the other, with hand-off stalls at region
+ *    swaps (the prior-work baseline of Fig. 18).
+ *  - Dcs: PIMphony's Dynamic Command Scheduling with a D-Table and
+ *    S-Table tracking per-entry dependencies, an I/O queue and a
+ *    compute queue issued out-of-order with respect to each other.
+ */
+
+#ifndef PIMPHONY_PIM_SCHEDULER_HH
+#define PIMPHONY_PIM_SCHEDULER_HH
+
+#include <memory>
+#include <string>
+
+#include "dram/timing.hh"
+#include "isa/pim_command.hh"
+#include "pim/schedule_result.hh"
+
+namespace pimphony {
+
+enum class SchedulerKind {
+    Static,
+    PingPong,
+    Dcs,
+};
+
+std::string schedulerName(SchedulerKind kind);
+
+class CommandScheduler
+{
+  public:
+    explicit CommandScheduler(const AimTimingParams &params)
+        : params_(params)
+    {
+    }
+
+    virtual ~CommandScheduler() = default;
+
+    /**
+     * Schedule @p stream on one channel starting at cycle 0.
+     *
+     * @param stream commands in program order.
+     * @param keep_timeline retain per-command issue/complete times.
+     */
+    virtual ScheduleResult schedule(const CommandStream &stream,
+                                    bool keep_timeline = false) = 0;
+
+    const AimTimingParams &params() const { return params_; }
+
+  protected:
+    /** Execution duration of a command by kind. */
+    Cycle
+    duration(CommandKind kind) const
+    {
+        switch (kind) {
+          case CommandKind::WrInp: return params_.tWrInp;
+          case CommandKind::Mac:   return params_.tMac;
+          case CommandKind::RdOut: return params_.tRdOut;
+        }
+        return 0;
+    }
+
+    /** Fill derived fields (utilization, counts) of @p result. */
+    void finalize(ScheduleResult &result, const CommandStream &stream) const;
+
+    AimTimingParams params_;
+};
+
+/** Create a scheduler of the requested kind. */
+std::unique_ptr<CommandScheduler>
+makeScheduler(SchedulerKind kind, const AimTimingParams &params);
+
+} // namespace pimphony
+
+#endif // PIMPHONY_PIM_SCHEDULER_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Static (baseline) PIM command scheduler.
+ *
+ * The controller issues commands strictly in program order. Commands
+ * belonging to the same unrolled instruction stream at the minimum
+ * bus interval tCCDS; at every instruction boundary the controller
+ * conservatively waits out the full execution time of the previous
+ * command, because it tracks no per-entry dependencies (Sec. V-A).
+ */
+
+#ifndef PIMPHONY_PIM_STATIC_SCHEDULER_HH
+#define PIMPHONY_PIM_STATIC_SCHEDULER_HH
+
+#include "pim/scheduler.hh"
+
+namespace pimphony {
+
+class StaticScheduler : public CommandScheduler
+{
+  public:
+    using CommandScheduler::CommandScheduler;
+
+    ScheduleResult schedule(const CommandStream &stream,
+                            bool keep_timeline = false) override;
+};
+
+} // namespace pimphony
+
+#endif // PIMPHONY_PIM_STATIC_SCHEDULER_HH

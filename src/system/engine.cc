@@ -1,0 +1,303 @@
+#include "system/engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "system/prefill.hh"
+
+namespace pimphony {
+
+ServingEngine::ServingEngine(const ClusterConfig &cluster,
+                             const LlmConfig &model,
+                             std::vector<Request> requests,
+                             const EngineOptions &options)
+    : ServingEngine(cluster, model, immediateArrivals(requests), options)
+{
+}
+
+ServingEngine::ServingEngine(const ClusterConfig &cluster,
+                             const LlmConfig &model,
+                             std::vector<TimedRequest> requests,
+                             const EngineOptions &options)
+    : cluster_(cluster), model_(model), options_(options)
+{
+    if (cluster_.plan.modules() != cluster_.nModules)
+        fatal("parallel plan %s does not cover %u modules",
+              cluster_.plan.toString().c_str(), cluster_.nModules);
+    Bytes kv_capacity = cluster_.usableKvBytes(model_);
+    if (kv_capacity == 0)
+        fatal("model weights (%llu B) exceed system capacity",
+              static_cast<unsigned long long>(model_.weightBytes()));
+    allocator_ = makeAllocator(options_.allocator, kv_capacity,
+                               model_.kvBytesPerToken(),
+                               model_.contextWindow);
+    module_ = std::make_unique<PimModuleModel>(cluster_.module);
+    xpu_ = std::make_unique<XpuModel>(cluster_.xpu);
+    for (auto &r : requests)
+        pending_.push_back(r);
+}
+
+void
+ServingEngine::admit()
+{
+    while (!pending_.empty()) {
+        const TimedRequest &timed = pending_.front();
+        if (timed.arrivalSeconds > result_.simulatedSeconds)
+            break; // not yet arrived (open loop)
+        const Request &front = timed.request;
+        Tokens final_tokens = front.contextTokens + front.decodeTokens;
+        Bytes need = model_.kvBytesPerToken() * final_tokens;
+        if (need > allocator_->capacity() ||
+            final_tokens > model_.contextWindow) {
+            // Can never be served on this configuration.
+            ++result_.rejectedRequests;
+            pending_.pop_front();
+            continue;
+        }
+        // Headroom: only admit when the full decode trajectory fits
+        // next to the current reservations (avoids preemption storms).
+        if (allocator_->reservedBytes() + need > allocator_->capacity())
+            break;
+        if (!allocator_->tryAdmit(front.id, front.contextTokens))
+            break;
+        if (options_.chargePrefill) {
+            const XpuConfig &compute = cluster_.xpu;
+            unsigned engines = cluster_.kind == SystemKind::XpuPim
+                ? cluster_.nModules
+                : cluster_.nModules; // one PNM per module
+            double sec = prefillSeconds(model_, front.contextTokens,
+                                        compute, engines);
+            result_.prefillSeconds += sec;
+            result_.simulatedSeconds += sec;
+        }
+        active_.push_back({front, 0, timed.arrivalSeconds});
+        pending_.pop_front();
+    }
+}
+
+double
+ServingEngine::stepSeconds(std::vector<double> &busy_acc,
+                           std::vector<double> &span_acc)
+{
+    const unsigned tp = cluster_.plan.tp;
+    const unsigned pp = cluster_.plan.pp;
+    const std::uint32_t batch =
+        static_cast<std::uint32_t>(active_.size());
+
+    MicroBatching mb = planMicroBatches(batch, pp);
+    const std::uint32_t mbs = mb.microBatchSize;
+    const unsigned layers_per_stage = std::max(1u, model_.nLayers / pp);
+    const unsigned kvh = model_.kvHeads();
+    const unsigned jobs_per_req = std::max(1u, ceilDiv(kvh, tp));
+    // When the TP group outnumbers the KV heads, the modules sharing
+    // a head split its token range (sequence parallelism); the extra
+    // partial reduction folds into the EPU path.
+    const unsigned seq_split = tp > kvh ? tp / kvh : 1;
+
+    double max_stage_sec = 0.0;
+    double step_att_sec = 0.0, step_fc_sec = 0.0;
+    double step_busy = 0.0;
+    EnergyBreakdown att_energy, fc_energy;
+
+    for (std::uint32_t m = 0; m < mb.count; ++m) {
+        std::uint32_t lo = m * mbs;
+        std::uint32_t hi = std::min<std::uint32_t>(lo + mbs, batch);
+        if (lo >= hi)
+            continue;
+        std::vector<AttentionJob> jobs;
+        jobs.reserve((hi - lo) * jobs_per_req);
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            Tokens t = active_[i].request.contextTokens +
+                       active_[i].generated;
+            Tokens t_mod = seq_split > 1
+                ? ceilDiv<Tokens>(t, seq_split)
+                : t;
+            for (unsigned h = 0; h < jobs_per_req; ++h)
+                jobs.push_back({active_[i].request.id, h, t_mod});
+        }
+
+        PhaseResult att = module_->attentionLayer(jobs, model_);
+        double fc_sec;
+        PhaseResult fc;
+        if (cluster_.kind == SystemKind::PimOnly) {
+            fc = module_->fcLayer(hi - lo, model_, tp);
+            fc_sec = fc.seconds;
+        } else {
+            double layer_params = static_cast<double>(model_.paramCount()) /
+                                  model_.nLayers;
+            double flops = 2.0 * layer_params / tp *
+                           static_cast<double>(hi - lo);
+            Bytes w = static_cast<Bytes>(
+                static_cast<double>(model_.weightBytes()) /
+                model_.nLayers / tp);
+            fc_sec = xpu_->gemmSeconds(flops, w, hi - lo);
+            // Simple NPU energy: 0.4 pJ/FLOP.
+            fc.energy.elseE = flops * 0.4;
+        }
+
+        double sync = 2.0 * allReduceSeconds(
+            static_cast<Bytes>(hi - lo) * model_.dModel * 2, tp,
+            cluster_.linkBandwidth, cluster_.linkAlpha);
+
+        double layer_sec = cluster_.kind == SystemKind::PimOnly
+            ? att.seconds + fc_sec + sync
+            : std::max(att.seconds, fc_sec) + sync;
+        double stage_sec = layers_per_stage * layer_sec;
+        max_stage_sec = std::max(max_stage_sec, stage_sec);
+
+        // Per full step this micro-batch crosses all pp stages.
+        double layers_total = static_cast<double>(layers_per_stage) * pp;
+        step_att_sec += att.seconds * layers_total;
+        step_fc_sec += fc_sec * layers_total;
+        step_busy += (att.busyChannelCycles + fc.busyChannelCycles) *
+                     layers_total * tp;
+        att_energy += att.energy.scaled(layers_total * tp);
+        fc_energy += fc.energy.scaled(layers_total * tp);
+    }
+
+    double step_sec = mb.stageBeats * max_stage_sec;
+
+    // Cluster-wide channel-cycle span and residual idle background.
+    double spc = cluster_.module.timing.secondsPerCycle();
+    double span = step_sec / spc * cluster_.module.nChannels *
+                  cluster_.nModules;
+    busy_acc.push_back(step_busy);
+    span_acc.push_back(span);
+
+    double busy_span_cycles =
+        (step_att_sec + (cluster_.kind == SystemKind::PimOnly
+                             ? step_fc_sec
+                             : 0.0)) /
+        spc * cluster_.module.nChannels * tp;
+    double idle = span - busy_span_cycles;
+    if (idle > 0) {
+        // Attribute idle background proportionally to phase time.
+        double tot = step_att_sec + step_fc_sec;
+        double att_share = tot > 0 ? step_att_sec / tot : 1.0;
+        EnergyBreakdown bg = backgroundEnergy(
+            static_cast<Cycle>(idle), 1,
+            EnergyParams{});
+        att_energy += bg.scaled(att_share);
+        fc_energy += bg.scaled(1.0 - att_share);
+    }
+
+    result_.attentionSeconds += step_att_sec;
+    result_.fcSeconds += step_fc_sec;
+    result_.attentionEnergy += att_energy;
+    result_.fcEnergy += fc_energy;
+    return step_sec;
+}
+
+EngineResult
+ServingEngine::run()
+{
+    std::vector<double> busy_acc, span_acc;
+    double batch_time = 0.0;   // integral of batch over time
+    double capacity_time = 0.0;
+
+    admit();
+    std::uint64_t steps = 0;
+    while ((!active_.empty() || !pending_.empty()) &&
+           steps < options_.maxSteps) {
+        ++steps;
+        if (active_.empty()) {
+            if (pending_.front().arrivalSeconds >
+                result_.simulatedSeconds) {
+                // Open loop: idle until the next arrival.
+                result_.simulatedSeconds =
+                    pending_.front().arrivalSeconds;
+                admit();
+                continue;
+            }
+            // Nothing admitted although requests pend: the headroom
+            // check refuses them only when memory is held, which it
+            // cannot be with an empty active set -> reject front.
+            ++result_.rejectedRequests;
+            pending_.pop_front();
+            admit();
+            continue;
+        }
+
+        double sec = stepSeconds(busy_acc, span_acc);
+        result_.simulatedSeconds += sec;
+        batch_time += sec * static_cast<double>(active_.size());
+        capacity_time += sec * allocator_->capacityUtilization();
+
+        // Advance every active request by one token.
+        std::vector<Active> next;
+        next.reserve(active_.size());
+        for (auto &a : active_) {
+            Tokens total = a.request.contextTokens + a.generated + 1;
+            if (!allocator_->grow(a.request.id, total)) {
+                // Out of memory: preempt (vLLM-style recompute); the
+                // request re-queues with its original arrival time.
+                allocator_->release(a.request.id);
+                ++result_.preemptions;
+                pending_.push_back({a.request, a.arrival});
+                continue;
+            }
+            ++a.generated;
+            ++result_.generatedTokens;
+            if (a.generated >= a.request.decodeTokens) {
+                allocator_->release(a.request.id);
+                ++result_.completedRequests;
+                latencies_.push_back(result_.simulatedSeconds -
+                                     a.arrival);
+            } else {
+                next.push_back(a);
+            }
+        }
+        active_ = std::move(next);
+        admit();
+    }
+    if (steps >= options_.maxSteps)
+        warn("engine stopped at the step cap (%llu)",
+             static_cast<unsigned long long>(options_.maxSteps));
+
+    if (result_.simulatedSeconds > 0.0) {
+        result_.tokensPerSecond =
+            static_cast<double>(result_.generatedTokens) /
+            result_.simulatedSeconds;
+        result_.avgEffectiveBatch =
+            batch_time / result_.simulatedSeconds;
+        result_.capacityUtilization =
+            capacity_time / result_.simulatedSeconds;
+    }
+    double busy = 0.0, span = 0.0;
+    for (double b : busy_acc)
+        busy += b;
+    for (double s : span_acc)
+        span += s;
+    result_.macUtilization = safeRatio(busy, span);
+
+    if (!latencies_.empty()) {
+        std::sort(latencies_.begin(), latencies_.end());
+        double sum = 0.0;
+        for (double l : latencies_)
+            sum += l;
+        result_.avgRequestLatency =
+            sum / static_cast<double>(latencies_.size());
+        std::size_t p95 = latencies_.size() * 95 / 100;
+        if (p95 >= latencies_.size())
+            p95 = latencies_.size() - 1;
+        result_.p95RequestLatency = latencies_[p95];
+    }
+    return result_;
+}
+
+EngineResult
+runServing(ClusterConfig cluster, const LlmConfig &model,
+           const std::vector<Request> &requests,
+           const PimphonyOptions &pimphony, std::uint64_t max_steps)
+{
+    applyOptions(cluster, pimphony);
+    EngineOptions options;
+    options.allocator =
+        pimphony.dpa ? AllocatorKind::LazyChunk : AllocatorKind::Static;
+    options.maxSteps = max_steps;
+    ServingEngine engine(cluster, model, requests, options);
+    return engine.run();
+}
+
+} // namespace pimphony

@@ -1,0 +1,181 @@
+#include "system/pim_module.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pimphony {
+
+double
+PimModuleConfig::internalBandwidth() const
+{
+    // Every channel moves one 512 B all-bank MAC's worth of weights
+    // per tCCDS at peak.
+    double per_channel =
+        static_cast<double>(timing.macBytesPerCommand()) /
+        (timing.tCcds * timing.secondsPerCycle());
+    return per_channel * nChannels;
+}
+
+PimModuleModel::PimModuleModel(const PimModuleConfig &config,
+                               const EnergyParams &energy)
+    : config_(config), energyParams_(energy), cache_(config.timing),
+      epu_()
+{
+    if (config_.nChannels == 0)
+        fatal("PIM module needs at least one channel");
+}
+
+const ScheduleResult &
+PimModuleModel::attentionKernel(KernelKind kind, Tokens tokens,
+                                const LlmConfig &model)
+{
+    AttentionSpec spec;
+    spec.tokens = bucketTokens(tokens);
+    spec.headDim = model.headDim;
+    spec.gqaGroup = model.gqaGroup;
+    spec.rowReuse = config_.rowReuse();
+    KernelRequest req = kind == KernelKind::Qkt
+        ? KernelRequest::makeQkt(spec, config_.scheduler)
+        : KernelRequest::makeSv(spec, config_.scheduler);
+    return cache_.get(req);
+}
+
+PhaseResult
+PimModuleModel::attentionLayer(const std::vector<AttentionJob> &jobs,
+                               const LlmConfig &model)
+{
+    PhaseResult out;
+    if (jobs.empty())
+        return out;
+
+    const double spc = config_.timing.secondsPerCycle();
+    const unsigned n_ch = config_.nChannels;
+
+    if (config_.partitioning == Partitioning::Tcp) {
+        // Every channel processes a token slice of every job; the
+        // module walks jobs one after another. The EPU (softmax and
+        // the SV inter-channel reduction) runs pipelined with the
+        // next job's channel work, so the module time is the larger
+        // of the two streams (Sec. IV-C: aggregation overhead is
+        // negligible).
+        double kernel_cycles = 0.0;
+        double epu_cycles = 0.0;
+        for (const auto &job : jobs) {
+            Tokens slice = tcpSliceTokens(job, n_ch);
+            const auto &qkt =
+                attentionKernel(KernelKind::Qkt, slice, model);
+            const auto &sv = attentionKernel(KernelKind::Sv, slice, model);
+            Cycle epu = epu_.softmaxCycles(job.tokens) *
+                        model.gqaGroup;
+            epu += epu_.reduceCycles(n_ch, static_cast<std::uint64_t>(
+                                               model.headDim) *
+                                               model.gqaGroup);
+            kernel_cycles += static_cast<double>(qkt.makespan) +
+                             static_cast<double>(sv.makespan);
+            epu_cycles += static_cast<double>(epu);
+            out.busyChannelCycles +=
+                static_cast<double>(qkt.macBusyCycles + sv.macBusyCycles) *
+                n_ch;
+            out.energy += kernelEnergy(qkt, energyParams_).scaled(n_ch);
+            out.energy += kernelEnergy(sv, energyParams_).scaled(n_ch);
+        }
+        double total_cycles = std::max(kernel_cycles, epu_cycles);
+        out.seconds = total_cycles * spc;
+        out.spanChannelCycles = total_cycles * n_ch;
+        return out;
+    }
+
+    // HFP: whole jobs on single channels; module waits for the
+    // slowest channel.
+    auto assignment = assignHfp(jobs, n_ch);
+    double max_cycles = 0.0;
+    for (const auto &channel_jobs : assignment) {
+        double ch_cycles = 0.0;
+        for (const auto &job : channel_jobs) {
+            const auto &qkt =
+                attentionKernel(KernelKind::Qkt, job.tokens, model);
+            const auto &sv =
+                attentionKernel(KernelKind::Sv, job.tokens, model);
+            Cycle epu =
+                epu_.softmaxCycles(job.tokens) * model.gqaGroup;
+            ch_cycles += static_cast<double>(qkt.makespan) +
+                         static_cast<double>(sv.makespan) +
+                         static_cast<double>(epu);
+            out.busyChannelCycles +=
+                static_cast<double>(qkt.macBusyCycles + sv.macBusyCycles);
+            out.energy += kernelEnergy(qkt, energyParams_);
+            out.energy += kernelEnergy(sv, energyParams_);
+        }
+        max_cycles = std::max(max_cycles, ch_cycles);
+    }
+    out.seconds = max_cycles * spc;
+    out.spanChannelCycles = max_cycles * n_ch;
+    // Idle channels still burn background power for the span.
+    double busy_span = 0.0;
+    for (const auto &channel_jobs : assignment) {
+        double ch_cycles = 0.0;
+        for (const auto &job : channel_jobs) {
+            const auto &qkt =
+                attentionKernel(KernelKind::Qkt, job.tokens, model);
+            const auto &sv =
+                attentionKernel(KernelKind::Sv, job.tokens, model);
+            ch_cycles += static_cast<double>(qkt.makespan + sv.makespan);
+        }
+        busy_span += ch_cycles;
+    }
+    double idle = max_cycles * n_ch - busy_span;
+    if (idle > 0)
+        out.energy += backgroundEnergy(static_cast<Cycle>(idle), 1,
+                                       energyParams_);
+    return out;
+}
+
+PhaseResult
+PimModuleModel::fcLayer(std::uint32_t batch, const LlmConfig &model,
+                        unsigned tp)
+{
+    PhaseResult out;
+    if (batch == 0)
+        return out;
+    const double spc = config_.timing.secondsPerCycle();
+    const unsigned n_ch = config_.nChannels;
+    const unsigned shard = n_ch * std::max(1u, tp);
+
+    // The decoder layer's linear stack (Q, K, V, O, gate, up, down).
+    std::uint64_t kv_dim =
+        static_cast<std::uint64_t>(model.kvHeads()) * model.headDim;
+    struct Op { std::uint64_t dout, din; };
+    const Op ops[] = {
+        {model.dModel, model.dModel},          // Q
+        {kv_dim, model.dModel},                // K
+        {kv_dim, model.dModel},                // V
+        {model.dModel, model.dModel},          // O
+        {model.dFfn, model.dModel},            // gate
+        {model.dFfn, model.dModel},            // up
+        {model.dModel, model.dFfn},            // down
+    };
+
+    double cycles_per_request = 0.0;
+    double busy_per_request = 0.0;
+    EnergyBreakdown energy_per_request;
+    for (const auto &op : ops) {
+        std::uint64_t dout_ch = std::max<std::uint64_t>(16,
+                                                        op.dout / shard);
+        GemvSpec spec = GemvSpec::fromDims(dout_ch, op.din);
+        const auto &r = cache_.get(
+            KernelRequest::makeGemv(spec, config_.scheduler));
+        cycles_per_request += static_cast<double>(r.makespan);
+        busy_per_request += static_cast<double>(r.macBusyCycles);
+        energy_per_request += kernelEnergy(r, energyParams_);
+    }
+
+    out.seconds = cycles_per_request * batch * spc;
+    out.busyChannelCycles = busy_per_request * batch * n_ch;
+    out.spanChannelCycles = cycles_per_request * batch * n_ch;
+    out.energy = energy_per_request.scaled(static_cast<double>(batch) *
+                                           n_ch);
+    return out;
+}
+
+} // namespace pimphony

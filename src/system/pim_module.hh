@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Module-level latency/energy composition: one PIM module executes
+ * attention job sets (partitioned by HFP or TCP across its channels)
+ * and, in PIM-only systems, the FC GEMVs of the decoder layers.
+ */
+
+#ifndef PIMPHONY_SYSTEM_PIM_MODULE_HH
+#define PIMPHONY_SYSTEM_PIM_MODULE_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/timing.hh"
+#include "energy/energy.hh"
+#include "hub/epu.hh"
+#include "kernels/kernel_sim.hh"
+#include "mapping/partition.hh"
+#include "model/llm.hh"
+
+namespace pimphony {
+
+struct PimModuleConfig
+{
+    unsigned nChannels = 32;
+    Bytes capacityBytes = 16_GiB;
+    AimTimingParams timing;
+    SchedulerKind scheduler = SchedulerKind::Static;
+    Partitioning partitioning = Partitioning::Hfp;
+
+    /**
+     * GQA KV mapping. Row-reuse saves ACT/PRE but adds WR-INP swaps
+     * that only DCS hides (Sec. V-C); each configuration uses the
+     * mapping that suits its scheduler.
+     */
+    bool
+    rowReuse() const
+    {
+        return scheduler == SchedulerKind::Dcs;
+    }
+
+    /** Internal bandwidth implied by the channel timing (B/s). */
+    double internalBandwidth() const;
+};
+
+/** Latency + occupancy of a phase executed on one module. */
+struct PhaseResult
+{
+    double seconds = 0.0;
+
+    /** MAC-busy cycles accumulated over all channels. */
+    double busyChannelCycles = 0.0;
+
+    /** Channel-cycles the phase occupied (seconds x channels). */
+    double spanChannelCycles = 0.0;
+
+    EnergyBreakdown energy;
+};
+
+class PimModuleModel
+{
+  public:
+    explicit PimModuleModel(const PimModuleConfig &config,
+                            const EnergyParams &energy = {});
+
+    /**
+     * One decoder layer's attention for @p jobs (each job = the KV
+     * scan of one (request, KV-head) with the model's GQA group).
+     */
+    PhaseResult attentionLayer(const std::vector<AttentionJob> &jobs,
+                               const LlmConfig &model);
+
+    /**
+     * One decoder layer's FC stack (QKVO projections + FFN) for
+     * @p batch requests, executed as PIM GEMVs on this module's
+     * shard (1/tp of every output dimension).
+     */
+    PhaseResult fcLayer(std::uint32_t batch, const LlmConfig &model,
+                        unsigned tp);
+
+    const PimModuleConfig &config() const { return config_; }
+    KernelCache &cache() { return cache_; }
+
+  private:
+    /** Channel-level result of one attention job at @p tokens. */
+    const ScheduleResult &attentionKernel(KernelKind kind, Tokens tokens,
+                                          const LlmConfig &model);
+
+    PimModuleConfig config_;
+    EnergyParams energyParams_;
+    KernelCache cache_;
+    EpuModel epu_;
+};
+
+} // namespace pimphony
+
+#endif // PIMPHONY_SYSTEM_PIM_MODULE_HH

@@ -1,0 +1,34 @@
+#include "system/prefill.hh"
+
+#include <algorithm>
+
+namespace pimphony {
+
+double
+prefillFlops(const LlmConfig &model, Tokens tokens)
+{
+    double linear = 2.0 * static_cast<double>(model.paramCount()) *
+                    static_cast<double>(tokens);
+    // Causal attention: ~T^2/2 score+context pairs per head.
+    double attn = 2.0 * model.nLayers * model.nHeads * model.headDim *
+                  static_cast<double>(tokens) *
+                  static_cast<double>(tokens);
+    return linear + attn;
+}
+
+double
+prefillSeconds(const LlmConfig &model, Tokens tokens,
+               const XpuConfig &config, unsigned n_engines)
+{
+    if (tokens == 0)
+        return 0.0;
+    double engines = std::max(1u, n_engines);
+    // Prefill GEMMs are large: assume near-saturated matrix units.
+    double flops = prefillFlops(model, tokens);
+    double compute = flops / (config.peakFlops * 0.8 * engines);
+    double weights = static_cast<double>(model.weightBytes()) /
+                     (config.memBandwidth * engines);
+    return std::max(compute, weights);
+}
+
+} // namespace pimphony

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Prefill latency model (extension beyond the paper's decode-focused
+ * evaluation).
+ *
+ * Prefill is compute-bound GEMM work: 2 x params FLOPs per context
+ * token for the linear stack plus the quadratic attention term. The
+ * CENT-like system prefillls on its PNM (slow -- one of the reasons
+ * PIM-only systems assume prefill elsewhere), the NeuPIMs-like system
+ * on its NPUs, the GPU baseline on the GPUs.
+ */
+
+#ifndef PIMPHONY_SYSTEM_PREFILL_HH
+#define PIMPHONY_SYSTEM_PREFILL_HH
+
+#include "model/llm.hh"
+#include "system/xpu.hh"
+
+namespace pimphony {
+
+/** Total FLOPs to prefill @p tokens of context. */
+double prefillFlops(const LlmConfig &model, Tokens tokens);
+
+/**
+ * Seconds to prefill @p tokens on @p n_engines compute engines of
+ * @p config (weights already resident; chunked prefill streams
+ * activations).
+ */
+double prefillSeconds(const LlmConfig &model, Tokens tokens,
+                      const XpuConfig &config, unsigned n_engines);
+
+} // namespace pimphony
+
+#endif // PIMPHONY_SYSTEM_PREFILL_HH

@@ -1,0 +1,39 @@
+#include "workload/arrival.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pimphony {
+
+std::vector<TimedRequest>
+poissonArrivals(const std::vector<Request> &requests,
+                double rate_per_second, std::uint64_t seed)
+{
+    if (rate_per_second <= 0.0)
+        fatal("arrival rate must be positive");
+    Rng rng(seed);
+    std::vector<TimedRequest> out;
+    out.reserve(requests.size());
+    double t = 0.0;
+    for (const auto &r : requests) {
+        double u = rng.uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        t += -std::log(u) / rate_per_second;
+        out.push_back({r, t});
+    }
+    return out;
+}
+
+std::vector<TimedRequest>
+immediateArrivals(const std::vector<Request> &requests)
+{
+    std::vector<TimedRequest> out;
+    out.reserve(requests.size());
+    for (const auto &r : requests)
+        out.push_back({r, 0.0});
+    return out;
+}
+
+} // namespace pimphony

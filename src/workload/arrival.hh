@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Open-loop arrival processes for online serving experiments.
+ *
+ * The paper's evaluation is closed-loop (a fixed request pool), but a
+ * deployed long-context service sees requests arrive over time; the
+ * Poisson process here lets the engine run open-loop and report
+ * request latency percentiles in addition to throughput.
+ */
+
+#ifndef PIMPHONY_WORKLOAD_ARRIVAL_HH
+#define PIMPHONY_WORKLOAD_ARRIVAL_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "workload/trace.hh"
+
+namespace pimphony {
+
+/** A request plus its arrival time on the serving clock. */
+struct TimedRequest
+{
+    Request request;
+    double arrivalSeconds = 0.0;
+};
+
+/**
+ * Attach Poisson arrivals at @p rate_per_second to @p requests
+ * (exponential inter-arrival times, deterministic per seed).
+ */
+std::vector<TimedRequest> poissonArrivals(const std::vector<Request> &requests,
+                                          double rate_per_second,
+                                          std::uint64_t seed);
+
+/** All requests available at time zero (closed-loop). */
+std::vector<TimedRequest>
+immediateArrivals(const std::vector<Request> &requests);
+
+} // namespace pimphony
+
+#endif // PIMPHONY_WORKLOAD_ARRIVAL_HH

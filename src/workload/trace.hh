@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Synthetic long-context request traces matched to the paper's
+ * Table II statistics (LongBench: QMSum, Musique; LV-Eval:
+ * multifieldqa, Loogle-SD).
+ *
+ * We do not have the benchmark texts; the serving system reacts only
+ * to the context-length distribution (channel imbalance, capacity
+ * variance), so requests are synthesized from truncated distributions
+ * whose mean/std/min/max match the published table.
+ */
+
+#ifndef PIMPHONY_WORKLOAD_TRACE_HH
+#define PIMPHONY_WORKLOAD_TRACE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace pimphony {
+
+enum class TraceTask {
+    QMSum,        ///< LongBench, summarization
+    Musique,      ///< LongBench, multi-hop QA
+    MultifieldQa, ///< LV-Eval
+    LoogleSd,     ///< LV-Eval
+};
+
+struct TraceTaskStats
+{
+    const char *name;
+    const char *suite;
+    double mean;
+    double stddev;
+    double min;
+    double max;
+};
+
+/** Published Table II statistics for @p task. */
+const TraceTaskStats &traceTaskStats(TraceTask task);
+
+std::string traceTaskName(TraceTask task);
+
+/** All four evaluated tasks, in paper order. */
+std::vector<TraceTask> allTraceTasks();
+
+struct Request
+{
+    RequestId id = 0;
+
+    /** Prefilled context length when decoding starts. */
+    Tokens contextTokens = 0;
+
+    /** Tokens to generate before the request completes. */
+    Tokens decodeTokens = 0;
+};
+
+/**
+ * Deterministic request generator for one task.
+ */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(TraceTask task, std::uint64_t seed);
+
+    /** Generate @p n requests decoding @p decode_tokens each. */
+    std::vector<Request> generate(std::size_t n,
+                                  Tokens decode_tokens = 128);
+
+    /**
+     * Generate with context lengths scaled so their mean is
+     * @p target_mean (used by the context-length sweeps of Fig. 17,
+     * which keep Table II's shape but move the scale).
+     */
+    std::vector<Request> generateScaled(std::size_t n, Tokens target_mean,
+                                        Tokens decode_tokens = 128);
+
+    TraceTask task() const { return task_; }
+
+  private:
+    Tokens sampleLength();
+
+    TraceTask task_;
+    Rng rng_;
+    RequestId next_ = 0;
+
+    /** Fitted once; sampling is then cheap. */
+    std::unique_ptr<TruncatedNormal> normal_;
+    std::unique_ptr<TruncatedLognormal> lognormal_;
+};
+
+} // namespace pimphony
+
+#endif // PIMPHONY_WORKLOAD_TRACE_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Allocator tests: static T_max reservations vs DPA lazy chunks --
+ * admission, growth, fragmentation bounds, utilization accounting,
+ * and host-interaction counting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/kv_allocator.hh"
+
+namespace pimphony {
+namespace {
+
+constexpr Bytes kBpt = 512 * 1024; // 7B MHA: 512 KiB per token
+constexpr Tokens kTmax = 32768;
+
+TEST(StaticAllocator, ReservesTmaxRegardlessOfContext)
+{
+    StaticKvAllocator a(64_GiB, kBpt, kTmax);
+    ASSERT_TRUE(a.tryAdmit(0, 1000));
+    EXPECT_EQ(a.reservedBytes(), kBpt * kTmax); // 16 GiB
+    EXPECT_EQ(a.usedBytes(), kBpt * 1000);
+    EXPECT_LT(a.capacityUtilization(), 0.01);
+}
+
+TEST(StaticAllocator, AdmissionBoundedByWorstCase)
+{
+    StaticKvAllocator a(64_GiB, kBpt, kTmax);
+    // 64 GiB / 16 GiB reservations = 4 requests, however short.
+    for (RequestId id = 0; id < 4; ++id)
+        EXPECT_TRUE(a.tryAdmit(id, 100));
+    EXPECT_FALSE(a.tryAdmit(99, 100));
+}
+
+TEST(StaticAllocator, GrowNeverFailsWithinTmax)
+{
+    StaticKvAllocator a(64_GiB, kBpt, kTmax);
+    ASSERT_TRUE(a.tryAdmit(0, 100));
+    std::uint64_t host_before = a.hostInterventions();
+    EXPECT_TRUE(a.grow(0, kTmax));
+    EXPECT_FALSE(a.grow(0, kTmax + 1));
+    // Growth inside the reservation involves no host message.
+    EXPECT_EQ(a.hostInterventions(), host_before);
+}
+
+TEST(StaticAllocator, ReleaseReturnsReservation)
+{
+    StaticKvAllocator a(32_GiB, kBpt, kTmax);
+    ASSERT_TRUE(a.tryAdmit(0, 100));
+    ASSERT_TRUE(a.tryAdmit(1, 100));
+    EXPECT_FALSE(a.tryAdmit(2, 100));
+    a.release(0);
+    EXPECT_TRUE(a.tryAdmit(2, 100));
+}
+
+TEST(StaticAllocator, RejectsBeyondTmax)
+{
+    StaticKvAllocator a(64_GiB, kBpt, kTmax);
+    EXPECT_FALSE(a.tryAdmit(0, kTmax + 1));
+}
+
+TEST(LazyAllocator, AllocatesOnlyWhatIsNeeded)
+{
+    LazyChunkAllocator a(64_GiB, kBpt, kTmax);
+    ASSERT_TRUE(a.tryAdmit(0, 1000));
+    Bytes actual = kBpt * 1000;
+    EXPECT_GE(a.reservedBytes(), actual);
+    // Fragmentation bounded by one chunk.
+    EXPECT_LT(a.reservedBytes(), actual + a.chunkBytes());
+}
+
+TEST(LazyAllocator, AdmitsManyMoreShortRequests)
+{
+    StaticKvAllocator st(64_GiB, kBpt, kTmax);
+    LazyChunkAllocator lz(64_GiB, kBpt, kTmax);
+    int st_admitted = 0, lz_admitted = 0;
+    for (RequestId id = 0; id < 64; ++id) {
+        if (st.tryAdmit(id, 2000))
+            ++st_admitted;
+        if (lz.tryAdmit(id, 2000))
+            ++lz_admitted;
+    }
+    EXPECT_EQ(st_admitted, 4);
+    EXPECT_EQ(lz_admitted, 64);
+    EXPECT_GT(lz.capacityUtilization(), 0.9);
+}
+
+TEST(LazyAllocator, GrowAddsChunksOnDemand)
+{
+    LazyChunkAllocator a(64_GiB, kBpt, kTmax, 1_MiB);
+    ASSERT_TRUE(a.tryAdmit(0, 2)); // 1 MiB exactly (2 x 512 KiB)
+    EXPECT_EQ(a.chunksInUse(), 1u);
+    std::uint64_t host = a.hostInterventions();
+    EXPECT_TRUE(a.grow(0, 3)); // needs a second chunk
+    EXPECT_EQ(a.chunksInUse(), 2u);
+    EXPECT_EQ(a.hostInterventions(), host + 1);
+    // Growth within the chunk: no host message.
+    EXPECT_TRUE(a.grow(0, 4));
+    EXPECT_EQ(a.hostInterventions(), host + 1);
+}
+
+TEST(LazyAllocator, GrowFailsWhenFull)
+{
+    LazyChunkAllocator a(2_MiB, kBpt, kTmax, 1_MiB);
+    ASSERT_TRUE(a.tryAdmit(0, 2));
+    ASSERT_TRUE(a.tryAdmit(1, 2));
+    EXPECT_FALSE(a.grow(0, 3));
+    a.release(1);
+    EXPECT_TRUE(a.grow(0, 3));
+}
+
+TEST(LazyAllocator, FragmentationBoundOverManyRequests)
+{
+    LazyChunkAllocator a(64_GiB, kBpt, kTmax, 1_MiB);
+    for (RequestId id = 0; id < 32; ++id)
+        ASSERT_TRUE(a.tryAdmit(id, 1 + id * 7 % 50));
+    // Internal fragmentation <= one chunk per request (paper claim).
+    EXPECT_LE(a.reservedBytes() - a.usedBytes(), 32u * a.chunkBytes());
+}
+
+TEST(LazyAllocator, Va2PaBytesTrackChunks)
+{
+    LazyChunkAllocator a(64_GiB, kBpt, kTmax, 1_MiB);
+    ASSERT_TRUE(a.tryAdmit(0, 64)); // 32 MiB -> 32 chunks
+    EXPECT_EQ(a.va2paBytes(), 32u * 8u);
+}
+
+TEST(Allocator, FactoryAndNames)
+{
+    auto st = makeAllocator(AllocatorKind::Static, 1_GiB, kBpt, kTmax);
+    auto lz = makeAllocator(AllocatorKind::LazyChunk, 1_GiB, kBpt, kTmax);
+    EXPECT_TRUE(st->tryAdmit(0, 1) == false); // 16 GiB reservation > 1 GiB
+    EXPECT_TRUE(lz->tryAdmit(0, 1));
+    EXPECT_EQ(allocatorName(AllocatorKind::Static), "static");
+    EXPECT_EQ(allocatorName(AllocatorKind::LazyChunk), "dpa-lazy");
+}
+
+} // namespace
+} // namespace pimphony

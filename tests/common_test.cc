@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the common toolkit: statistics, RNG distributions,
+ * units, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace pimphony {
+namespace {
+
+TEST(StatAccumulator, EmptyIsZero)
+{
+    StatAccumulator s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatAccumulator, KnownMoments)
+{
+    StatAccumulator s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0); // classic population-stddev example
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StatAccumulator, ResetClears)
+{
+    StatAccumulator s;
+    s.add(42.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BinningAndQuantile)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_EQ(h.totalSamples(), 10u);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.binSamples(b), 1u);
+    EXPECT_NEAR(h.quantile(0.5), 4.5, 1.0);
+}
+
+TEST(Histogram, OutOfRangeClamps)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binSamples(0), 1u);
+    EXPECT_EQ(h.binSamples(4), 1u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.uniformInt(3, 17);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 17u);
+    }
+}
+
+TEST(TruncatedNormal, RespectsBoundsAndMoments)
+{
+    Rng rng(11);
+    TruncatedNormal dist(100.0, 10.0, 50.0, 150.0);
+    StatAccumulator s;
+    for (int i = 0; i < 20000; ++i) {
+        double v = dist.sample(rng);
+        ASSERT_GE(v, 50.0);
+        ASSERT_LE(v, 150.0);
+        s.add(v);
+    }
+    EXPECT_NEAR(s.mean(), 100.0, 1.0);
+    EXPECT_NEAR(s.stddev(), 10.0, 1.0);
+}
+
+TEST(TruncatedLognormal, RespectsBoundsAndMean)
+{
+    Rng rng(13);
+    // LV-Eval multifieldqa-like parameters (Table II).
+    TruncatedLognormal dist(60780, 31025, 20333, 119480);
+    StatAccumulator s;
+    for (int i = 0; i < 20000; ++i) {
+        double v = dist.sample(rng);
+        ASSERT_GE(v, 20333.0);
+        ASSERT_LE(v, 119480.0);
+        s.add(v);
+    }
+    // Truncation biases the mean; stay within 15%.
+    EXPECT_NEAR(s.mean(), 60780.0, 60780.0 * 0.15);
+}
+
+TEST(TruncatedNormal, ZeroStddevClamps)
+{
+    Rng rng(3);
+    TruncatedNormal dist(5.0, 0.0, 0.0, 10.0);
+    EXPECT_DOUBLE_EQ(dist.sample(rng), 5.0);
+    TruncatedNormal low(-5.0, 0.0, 0.0, 10.0);
+    EXPECT_DOUBLE_EQ(low.sample(rng), 0.0);
+}
+
+TEST(Units, LiteralsAndHelpers)
+{
+    EXPECT_EQ(2_KiB, 2048u);
+    EXPECT_EQ(1_MiB, 1048576u);
+    EXPECT_EQ(1_GiB, 1073741824u);
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(roundUp(10, 8), 16);
+    EXPECT_EQ(roundUp(16, 8), 16);
+    EXPECT_DOUBLE_EQ(tbPerSec(2.0), 2e12);
+    EXPECT_DOUBLE_EQ(tflops(312.0), 312e12);
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"alpha", TablePrinter::fmt(1.5)});
+    t.addRow({"b", TablePrinter::fmtInt(42)});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, PercentFormatting)
+{
+    EXPECT_EQ(TablePrinter::fmtPercent(0.147), "14.7%");
+    EXPECT_EQ(TablePrinter::fmtPercent(1.0, 0), "100%");
+}
+
+TEST(SafeRatio, GuardsZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(safeRatio(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(safeRatio(6.0, 3.0), 2.0);
+}
+
+} // namespace
+} // namespace pimphony

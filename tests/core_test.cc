@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Orchestrator tests: plan enumeration, auto-search, and end-to-end
+ * evaluation through the public API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/orchestrator.hh"
+
+namespace pimphony {
+namespace {
+
+TEST(Orchestrator, CandidatePlansCoverModuleGrid)
+{
+    OrchestratorConfig cfg;
+    cfg.system = SystemKind::PimOnly;
+    cfg.model = LlmConfig::llm7b(false); // 8 modules
+    PimphonyOrchestrator orch(cfg);
+    auto plans = orch.candidatePlans();
+    ASSERT_EQ(plans.size(), 4u); // (1,8),(2,4),(4,2),(8,1)
+    for (const auto &p : plans)
+        EXPECT_EQ(p.modules(), 8u);
+}
+
+TEST(Orchestrator, ClusterFollowsOptions)
+{
+    OrchestratorConfig cfg;
+    cfg.system = SystemKind::PimOnly;
+    cfg.model = LlmConfig::llm7b(true);
+    cfg.options = PimphonyOptions::all();
+    PimphonyOrchestrator orch(cfg);
+    auto c = orch.cluster();
+    EXPECT_EQ(c.module.partitioning, Partitioning::Tcp);
+    EXPECT_EQ(c.module.scheduler, SchedulerKind::Dcs);
+}
+
+TEST(Orchestrator, FixedPlanEvaluation)
+{
+    OrchestratorConfig cfg;
+    cfg.system = SystemKind::PimOnly;
+    cfg.model = LlmConfig::llm7b(true);
+    cfg.options = PimphonyOptions::all();
+    cfg.plan = ParallelPlan{8, 1};
+    cfg.nRequests = 8;
+    cfg.decodeTokens = 16;
+    PimphonyOrchestrator orch(cfg);
+    auto r = orch.evaluate(TraceTask::QMSum);
+    EXPECT_EQ(r.plan.tp, 8u);
+    EXPECT_GT(r.engine.tokensPerSecond, 0.0);
+    EXPECT_EQ(r.label, "+TCP+DCS+DPA");
+}
+
+TEST(Orchestrator, AutoSearchPicksBestPlan)
+{
+    OrchestratorConfig cfg;
+    cfg.system = SystemKind::PimOnly;
+    cfg.model = LlmConfig::llm7b(true);
+    cfg.options = PimphonyOptions::all();
+    cfg.plan = ParallelPlan{0, 0}; // search
+    cfg.nRequests = 6;
+    cfg.decodeTokens = 8;
+    PimphonyOrchestrator orch(cfg);
+    auto best = orch.evaluate(TraceTask::Musique);
+
+    // No fixed plan may beat the searched one (same seed/trace).
+    for (const auto &plan : orch.candidatePlans()) {
+        OrchestratorConfig fixed = cfg;
+        fixed.plan = plan;
+        PimphonyOrchestrator o2(fixed);
+        auto r = o2.evaluate(TraceTask::Musique);
+        EXPECT_LE(r.engine.tokensPerSecond,
+                  best.engine.tokensPerSecond * 1.0001)
+            << plan.toString();
+    }
+}
+
+TEST(Orchestrator, DeterministicPerSeed)
+{
+    OrchestratorConfig cfg;
+    cfg.system = SystemKind::PimOnly;
+    cfg.model = LlmConfig::llm7b(true);
+    cfg.options = PimphonyOptions::all();
+    cfg.plan = ParallelPlan{8, 1};
+    cfg.nRequests = 4;
+    cfg.decodeTokens = 8;
+    PimphonyOrchestrator a(cfg), b(cfg);
+    auto ra = a.evaluate(TraceTask::LoogleSd);
+    auto rb = b.evaluate(TraceTask::LoogleSd);
+    EXPECT_DOUBLE_EQ(ra.engine.tokensPerSecond,
+                     rb.engine.tokensPerSecond);
+}
+
+} // namespace
+} // namespace pimphony

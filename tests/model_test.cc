@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Model-config tests: Table I presets, KV-cache arithmetic, and the
+ * Fig. 2 motivation quantities (compute intensity, memory footprint).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "model/llm.hh"
+
+namespace pimphony {
+namespace {
+
+TEST(LlmConfig, TableIPresets)
+{
+    auto m7 = LlmConfig::llm7b(false);
+    EXPECT_EQ(m7.nLayers, 32u);
+    EXPECT_EQ(m7.nHeads, 32u);
+    EXPECT_EQ(m7.headDim, 128u);
+    EXPECT_EQ(m7.gqaGroup, 1u);
+    EXPECT_EQ(m7.kvHeads(), 32u);
+    EXPECT_EQ(m7.contextWindow, 32768u);
+
+    auto m7g = LlmConfig::llm7b(true);
+    EXPECT_EQ(m7g.gqaGroup, 4u);
+    EXPECT_EQ(m7g.kvHeads(), 8u);
+    EXPECT_EQ(m7g.contextWindow, 131072u);
+
+    auto m72 = LlmConfig::llm72b(true);
+    EXPECT_EQ(m72.nLayers, 80u);
+    EXPECT_EQ(m72.nHeads, 64u);
+    EXPECT_EQ(m72.gqaGroup, 8u);
+    EXPECT_EQ(m72.kvHeads(), 8u);
+}
+
+TEST(LlmConfig, ParamCountsLandNearNominalSizes)
+{
+    // "7B" and "72B" within 25%.
+    auto m7 = LlmConfig::llm7b(false);
+    EXPECT_NEAR(static_cast<double>(m7.paramCount()), 7e9, 7e9 * 0.25);
+    auto m72 = LlmConfig::llm72b(false);
+    EXPECT_NEAR(static_cast<double>(m72.paramCount()), 72e9, 72e9 * 0.25);
+}
+
+TEST(LlmConfig, KvBytesPerToken)
+{
+    auto m7 = LlmConfig::llm7b(false);
+    // 2 (K,V) x 32 layers x 32 heads x 128 dims x 2 B = 512 KiB.
+    EXPECT_EQ(m7.kvBytesPerToken(), 512_KiB);
+    auto m7g = LlmConfig::llm7b(true);
+    EXPECT_EQ(m7g.kvBytesPerToken(), 128_KiB); // 4x smaller with g=4
+    EXPECT_EQ(m7g.kvBytes(1024), 128_MiB);
+}
+
+TEST(LlmConfig, GqaShrinksKvProjWeightsOnly)
+{
+    auto mha = LlmConfig::llm7b(false);
+    auto gqa = LlmConfig::llm7b(true);
+    EXPECT_LT(gqa.paramCount(), mha.paramCount());
+    // FFN unchanged; reduction is bounded by the K/V projections
+    // (2 d (d - kv_dim) per layer, ~12% for 7B at g=4).
+    EXPECT_GT(static_cast<double>(gqa.paramCount()),
+              0.85 * static_cast<double>(mha.paramCount()));
+}
+
+TEST(LlmConfig, ComputeIntensityDropsWithContext)
+{
+    // Fig. 2(a): FLOPs/byte decreases monotonically with context.
+    auto m = LlmConfig::llm7b(true);
+    double prev = 1e18;
+    for (Tokens t : {1024u, 8192u, 65536u, 524288u, 1048576u}) {
+        double ci = m.computeIntensity(t, 16);
+        EXPECT_LT(ci, prev) << "context " << t;
+        prev = ci;
+    }
+    // The asymptote is pinned near the GQA group size (g = 4):
+    // memory-bound GEMV territory, far below GPU rooflines.
+    EXPECT_LT(m.computeIntensity(1048576, 16), 6.0);
+    EXPECT_GT(m.computeIntensity(1024, 16), 10.0);
+}
+
+TEST(LlmConfig, MemoryFootprintGrowsWithContextAndBatch)
+{
+    // Fig. 2(b): footprint crosses the A100-80GB line.
+    auto m = LlmConfig::llm7b(true);
+    Bytes a100 = 80_GiB;
+    EXPECT_LT(m.memoryFootprint(4096, 1), a100);
+    EXPECT_GT(m.memoryFootprint(1048576, 4), a100);
+    EXPECT_GT(m.memoryFootprint(65536, 2), m.memoryFootprint(65536, 1));
+    EXPECT_GT(m.memoryFootprint(131072, 2), m.memoryFootprint(65536, 2));
+}
+
+TEST(LlmConfig, WeightBytesIsTwiceParams)
+{
+    auto m = LlmConfig::llm72b(true);
+    EXPECT_EQ(m.weightBytes(), m.paramCount() * 2);
+}
+
+} // namespace
+} // namespace pimphony

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the serving extensions: Poisson arrivals / open-loop
+ * operation, request-latency reporting, and the prefill model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/engine.hh"
+#include "system/prefill.hh"
+#include "workload/arrival.hh"
+
+namespace pimphony {
+namespace {
+
+std::vector<Request>
+uniformRequests(std::size_t n, Tokens context, Tokens decode)
+{
+    std::vector<Request> out;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back({static_cast<RequestId>(i), context, decode});
+    return out;
+}
+
+TEST(Arrivals, PoissonIsMonotoneAndRateAccurate)
+{
+    auto reqs = uniformRequests(20000, 1000, 8);
+    auto timed = poissonArrivals(reqs, 50.0, 7);
+    ASSERT_EQ(timed.size(), reqs.size());
+    double prev = 0.0;
+    for (const auto &t : timed) {
+        EXPECT_GE(t.arrivalSeconds, prev);
+        prev = t.arrivalSeconds;
+    }
+    // 20000 arrivals at 50/s ~ 400 s +- a few percent.
+    EXPECT_NEAR(timed.back().arrivalSeconds, 400.0, 400.0 * 0.05);
+}
+
+TEST(Arrivals, DeterministicPerSeed)
+{
+    auto reqs = uniformRequests(100, 1000, 8);
+    auto a = poissonArrivals(reqs, 10.0, 3);
+    auto b = poissonArrivals(reqs, 10.0, 3);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+}
+
+TEST(Arrivals, ImmediateIsClosedLoop)
+{
+    auto reqs = uniformRequests(5, 1000, 8);
+    for (const auto &t : immediateArrivals(reqs))
+        EXPECT_DOUBLE_EQ(t.arrivalSeconds, 0.0);
+}
+
+TEST(OpenLoop, EngineIdlesUntilArrivals)
+{
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::centLike(model);
+    auto reqs = uniformRequests(4, 20000, 8);
+    // Arrivals spaced far apart: total time is dominated by waiting.
+    std::vector<TimedRequest> timed;
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+        timed.push_back({reqs[i], static_cast<double>(i) * 10.0});
+
+    applyOptions(cluster, PimphonyOptions::all());
+    EngineOptions opts;
+    opts.allocator = AllocatorKind::LazyChunk;
+    ServingEngine engine(cluster, model, timed, opts);
+    auto r = engine.run();
+    EXPECT_EQ(r.completedRequests, 4u);
+    EXPECT_GE(r.simulatedSeconds, 30.0); // waited for the last arrival
+    // Each request's latency is its own decode, not the whole span.
+    EXPECT_LT(r.avgRequestLatency, 5.0);
+}
+
+TEST(OpenLoop, LatencyPercentilesOrdered)
+{
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::centLike(model);
+    applyOptions(cluster, PimphonyOptions::all());
+    auto reqs = uniformRequests(24, 30000, 16);
+    auto timed = poissonArrivals(reqs, 100.0, 11);
+    EngineOptions opts;
+    opts.allocator = AllocatorKind::LazyChunk;
+    ServingEngine engine(cluster, model, timed, opts);
+    auto r = engine.run();
+    EXPECT_EQ(r.completedRequests, 24u);
+    EXPECT_GT(r.avgRequestLatency, 0.0);
+    EXPECT_GE(r.p95RequestLatency, r.avgRequestLatency);
+}
+
+TEST(Prefill, FlopsQuadraticInContext)
+{
+    auto model = LlmConfig::llm7b(false);
+    double f1 = prefillFlops(model, 10000);
+    double f2 = prefillFlops(model, 20000);
+    // Superlinear growth from the attention term.
+    EXPECT_GT(f2, 2.0 * f1);
+    EXPECT_LT(f2, 4.5 * f1);
+}
+
+TEST(Prefill, NpuMuchFasterThanPnm)
+{
+    auto model = LlmConfig::llm7b(false);
+    double npu = prefillSeconds(model, 60000, XpuConfig::neupimsNpu(), 4);
+    double pnm = prefillSeconds(model, 60000, XpuConfig::centPnm(), 8);
+    EXPECT_GT(pnm, 10.0 * npu); // 256 vs 3 TFLOPS per engine
+    EXPECT_EQ(prefillSeconds(model, 0, XpuConfig::centPnm(), 8), 0.0);
+}
+
+TEST(Prefill, ChargedWhenRequested)
+{
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::neupimsLike(model);
+    applyOptions(cluster, PimphonyOptions::all());
+    auto reqs = uniformRequests(4, 40000, 8);
+    EngineOptions opts;
+    opts.allocator = AllocatorKind::LazyChunk;
+
+    ServingEngine without(cluster, model, reqs, opts);
+    auto r0 = without.run();
+    EXPECT_DOUBLE_EQ(r0.prefillSeconds, 0.0);
+
+    opts.chargePrefill = true;
+    ServingEngine with(cluster, model, reqs, opts);
+    auto r1 = with.run();
+    EXPECT_GT(r1.prefillSeconds, 0.0);
+    EXPECT_GT(r1.simulatedSeconds, r0.simulatedSeconds);
+    EXPECT_LT(r1.tokensPerSecond, r0.tokensPerSecond);
+}
+
+TEST(OpenLoop, PreemptedRequestKeepsArrivalTime)
+{
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::centLike(model);
+    cluster.nModules = 2;
+    cluster.plan = ParallelPlan{2, 1};
+    applyOptions(cluster, PimphonyOptions::all());
+
+    Bytes usable = cluster.usableKvBytes(model);
+    Tokens per_req = usable / model.kvBytesPerToken() / 2;
+    auto reqs = uniformRequests(2, per_req - 8, 1024);
+    EngineOptions opts;
+    opts.allocator = AllocatorKind::LazyChunk;
+    ServingEngine engine(cluster, model, reqs, opts);
+    auto r = engine.run();
+    // Both eventually finish (possibly after preemption) and their
+    // latencies span the full serialized execution.
+    EXPECT_EQ(r.completedRequests + r.rejectedRequests, 2u);
+    if (r.completedRequests == 2) {
+        EXPECT_GT(r.p95RequestLatency, r.avgRequestLatency * 0.99);
+    }
+}
+
+} // namespace
+} // namespace pimphony

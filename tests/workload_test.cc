@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Workload tests: the synthetic traces must reproduce Table II's
+ * statistics and honour bounds; generation is deterministic per seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "workload/trace.hh"
+
+namespace pimphony {
+namespace {
+
+class TraceMoments : public ::testing::TestWithParam<TraceTask>
+{
+};
+
+TEST_P(TraceMoments, MatchTableII)
+{
+    TraceTask task = GetParam();
+    const auto &ref = traceTaskStats(task);
+    TraceGenerator gen(task, 7);
+    auto reqs = gen.generate(20000);
+
+    StatAccumulator s;
+    for (const auto &r : reqs) {
+        ASSERT_GE(static_cast<double>(r.contextTokens), ref.min);
+        ASSERT_LE(static_cast<double>(r.contextTokens), ref.max);
+        s.add(static_cast<double>(r.contextTokens));
+    }
+    // Truncation shifts moments slightly; 12% on the mean, 25% on
+    // the standard deviation keeps the distribution recognizably
+    // Table II.
+    EXPECT_NEAR(s.mean(), ref.mean, ref.mean * 0.12) << ref.name;
+    EXPECT_NEAR(s.stddev(), ref.stddev, ref.stddev * 0.25) << ref.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, TraceMoments,
+                         ::testing::ValuesIn(allTraceTasks()));
+
+TEST(Trace, DeterministicPerSeed)
+{
+    TraceGenerator a(TraceTask::QMSum, 11), b(TraceTask::QMSum, 11);
+    auto ra = a.generate(64), rb = b.generate(64);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        EXPECT_EQ(ra[i].contextTokens, rb[i].contextTokens);
+}
+
+TEST(Trace, DifferentSeedsDiffer)
+{
+    TraceGenerator a(TraceTask::QMSum, 1), b(TraceTask::QMSum, 2);
+    auto ra = a.generate(64), rb = b.generate(64);
+    int same = 0;
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        if (ra[i].contextTokens == rb[i].contextTokens)
+            ++same;
+    EXPECT_LT(same, 8);
+}
+
+TEST(Trace, IdsAreUniqueAcrossBatches)
+{
+    TraceGenerator gen(TraceTask::Musique, 3);
+    auto a = gen.generate(10);
+    auto b = gen.generate(10);
+    EXPECT_EQ(a.back().id + 1, b.front().id);
+}
+
+TEST(Trace, ScaledGenerationHitsTargetMean)
+{
+    TraceGenerator gen(TraceTask::MultifieldQa, 5);
+    auto reqs = gen.generateScaled(5000, 262144);
+    StatAccumulator s;
+    for (const auto &r : reqs)
+        s.add(static_cast<double>(r.contextTokens));
+    EXPECT_NEAR(s.mean(), 262144.0, 262144.0 * 0.12);
+}
+
+TEST(Trace, DecodeTokensPropagated)
+{
+    TraceGenerator gen(TraceTask::LoogleSd, 9);
+    auto reqs = gen.generate(5, 77);
+    for (const auto &r : reqs)
+        EXPECT_EQ(r.decodeTokens, 77u);
+}
+
+TEST(Trace, NamesAndSuites)
+{
+    EXPECT_EQ(traceTaskName(TraceTask::QMSum), "QMSum");
+    EXPECT_STREQ(traceTaskStats(TraceTask::QMSum).suite, "LongBench");
+    EXPECT_STREQ(traceTaskStats(TraceTask::LoogleSd).suite, "LV-Eval");
+    EXPECT_EQ(allTraceTasks().size(), 4u);
+}
+
+} // namespace
+} // namespace pimphony
