@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Step-model comparison: the event-driven serving core vs the
+ * analytic closed form across (TP,PP) organizations and workloads.
+ * On PP=1 plans the two must coincide (the pipeline recurrence
+ * degenerates to the closed form); on PP>1 plans with heterogeneous
+ * context lengths the event-driven core recovers the stage-beat
+ * padding the analytic model charges to every micro-batch.
+ */
+
+#include "bench_util.hh"
+
+#include "workload/arrival.hh"
+
+using namespace pimphony;
+
+namespace {
+
+void
+sweep(const char *title, SystemKind system, const LlmConfig &model,
+      TraceTask task)
+{
+    printBanner(std::cout, title);
+
+    OrchestratorConfig probe;
+    probe.system = system;
+    probe.model = model;
+    PimphonyOrchestrator plans_orch(probe);
+    auto plans = plans_orch.candidatePlans();
+
+    TablePrinter t({"plan", "analytic tok/s", "event tok/s", "ratio"});
+    for (const auto &plan : plans) {
+        double tps[2] = {0.0, 0.0};
+        int i = 0;
+        for (StepModel sm :
+             {StepModel::Analytic, StepModel::EventDriven}) {
+            OrchestratorConfig cfg;
+            cfg.system = system;
+            cfg.model = model;
+            cfg.options = PimphonyOptions::all();
+            cfg.plan = plan;
+            cfg.stepModel = sm;
+            cfg.nRequests = 24;
+            cfg.decodeTokens = 32;
+            PimphonyOrchestrator orch(cfg);
+            tps[i++] = orch.evaluate(task).engine.tokensPerSecond;
+        }
+        t.addRow({plan.toString(), TablePrinter::fmt(tps[0], 1),
+                  TablePrinter::fmt(tps[1], 1),
+                  bench::fmtSpeedup(tps[1] / tps[0])});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    sweep("Step models, PIM-only, LLM-7B-128K-GQA on multifieldqa",
+          SystemKind::PimOnly, LlmConfig::llm7b(true),
+          TraceTask::MultifieldQa);
+    sweep("Step models, PIM-only, LLM-7B-32K on QMSum",
+          SystemKind::PimOnly, LlmConfig::llm7b(false),
+          TraceTask::QMSum);
+    return 0;
+}

@@ -41,6 +41,9 @@ main()
             EngineOptions opts;
             opts.allocator = options.dpa ? AllocatorKind::LazyChunk
                                          : AllocatorKind::Static;
+            // Open-loop runs use the event-driven core: admission is
+            // driven by arrival events instead of lockstep steps.
+            opts.stepModel = StepModel::EventDriven;
             ServingEngine engine(cluster, model, timed, opts);
             auto r = engine.run();
             std::printf("%9.1f/s  %-14s %10.1f %12.2f %12.2f\n", rate,

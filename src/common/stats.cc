@@ -78,4 +78,19 @@ Histogram::quantile(double q) const
     return hi_;
 }
 
+double
+nearestRankPercentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    double n = static_cast<double>(sorted.size());
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank < 1)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
+}
+
 } // namespace pimphony

@@ -98,6 +98,14 @@ safeRatio(double num, double den)
     return den == 0.0 ? 0.0 : num / den;
 }
 
+/**
+ * Nearest-rank percentile of an ascending-sorted sample: the
+ * ceil(p/100 * n)-th smallest value (1-indexed), so a 1-element
+ * sample returns its only value and a 20-element sample's p95 is the
+ * 19th. Returns 0 for an empty sample.
+ */
+double nearestRankPercentile(const std::vector<double> &sorted, double p);
+
 } // namespace pimphony
 
 #endif // PIMPHONY_COMMON_STATS_HH

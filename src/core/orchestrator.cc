@@ -51,6 +51,7 @@ PimphonyOrchestrator::runPlan(const std::vector<Request> &requests,
     EngineOptions opts;
     opts.allocator = config_.options.dpa ? AllocatorKind::LazyChunk
                                          : AllocatorKind::Static;
+    opts.stepModel = config_.stepModel;
     opts.maxSteps = config_.maxSteps;
     ServingEngine engine(c, config_.model, requests, opts);
     EvaluationResult out;

@@ -29,6 +29,9 @@ struct OrchestratorConfig
     /** Fixed plan; tp = 0 requests an automatic TP/PP search. */
     ParallelPlan plan{0, 0};
 
+    /** Serving-time composition model (see StepModel). */
+    StepModel stepModel = StepModel::EventDriven;
+
     /** Module-count override (0 = the preset's deployment size). */
     unsigned modulesOverride = 0;
 

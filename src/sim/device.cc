@@ -1,0 +1,33 @@
+#include "sim/device.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace pimphony {
+namespace sim {
+
+double
+Device::submit(EventQueue &queue, const WorkItem &item, double ready,
+               CompletionFn done)
+{
+    double start = std::max(ready, busyUntil_);
+    double completion = start + item.seconds;
+    busyUntil_ = completion;
+    busySeconds_ += item.seconds;
+    queue.schedule(completion,
+                   [this, item, done = std::move(done)](double t) {
+                       ++completed_;
+                       onComplete(item, t);
+                       if (done)
+                           done(t);
+                   });
+    return completion;
+}
+
+void
+Device::onComplete(const WorkItem &, double)
+{
+}
+
+} // namespace sim
+} // namespace pimphony

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Device abstraction for the event-driven serving core.
+ *
+ * A Device is a FIFO-serial timeline: work submitted with a ready
+ * time begins at max(ready, busyUntil()) and completes after its
+ * service time. Submission is synchronous on the timeline arithmetic
+ * (so callers can chain stages deterministically) while completion
+ * notifications are delivered through the event queue, keeping all
+ * observable ordering in event time.
+ */
+
+#ifndef PIMPHONY_SIM_DEVICE_HH
+#define PIMPHONY_SIM_DEVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/work_item.hh"
+
+namespace pimphony {
+namespace sim {
+
+class Device
+{
+  public:
+    using CompletionFn = std::function<void(double /*completion*/)>;
+
+    explicit Device(std::string name) : name_(std::move(name)) {}
+    virtual ~Device() = default;
+
+    const std::string &name() const { return name_; }
+
+    /** Time the device frees after everything submitted so far. */
+    virtual double busyUntil() const { return busyUntil_; }
+
+    /** Total service seconds accepted (occupancy accounting). */
+    virtual double busySeconds() const { return busySeconds_; }
+
+    virtual std::uint64_t completedItems() const { return completed_; }
+
+    /**
+     * Submit @p item, eligible to start at @p ready. The item begins
+     * at max(ready, busyUntil()) and occupies the device for
+     * item.seconds. @p done (optional) is scheduled on @p queue at
+     * the completion time, after the device's own onComplete hook.
+     *
+     * @return the completion time.
+     */
+    virtual double submit(EventQueue &queue, const WorkItem &item,
+                          double ready, CompletionFn done = nullptr);
+
+  protected:
+    /** Hook observed at completion time (via the event queue). */
+    virtual void onComplete(const WorkItem &item, double completion);
+
+  private:
+    std::string name_;
+    double busyUntil_ = 0.0;
+    double busySeconds_ = 0.0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace sim
+} // namespace pimphony
+
+#endif // PIMPHONY_SIM_DEVICE_HH

@@ -1,0 +1,38 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+namespace pimphony {
+namespace sim {
+
+void
+EventQueue::schedule(double time, Callback fn)
+{
+    if (time < now_)
+        time = now_;
+    heap_.push(Event{time, seq_++, std::move(fn)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; moving the callback out before
+    // pop avoids copying a std::function per event.
+    Event ev = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn(ev.time);
+    return true;
+}
+
+void
+EventQueue::runAll()
+{
+    while (runOne()) {
+    }
+}
+
+} // namespace sim
+} // namespace pimphony

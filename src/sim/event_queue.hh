@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Discrete-event queue keyed by simulated time.
+ *
+ * The serving engine's event-driven core schedules per-cohort,
+ * per-stage work completions and open-loop request arrivals as
+ * events; the queue pops them in (time, insertion-order) order so
+ * simultaneous events run FIFO.
+ */
+
+#ifndef PIMPHONY_SIM_EVENT_QUEUE_HH
+#define PIMPHONY_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pimphony {
+namespace sim {
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(double /*time*/)>;
+
+    /** Time of the most recently dispatched event. */
+    double now() const { return now_; }
+
+    /**
+     * Schedule @p fn at absolute simulated time @p time. Times
+     * earlier than now() are clamped to now() (a causally "late"
+     * hand-off runs immediately).
+     */
+    void schedule(double time, Callback fn);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Earliest scheduled time (undefined when empty). */
+    double nextTime() const { return heap_.top().time; }
+
+    /** Dispatch the earliest event. @return false when empty. */
+    bool runOne();
+
+    /** Dispatch events until the queue drains. */
+    void runAll();
+
+  private:
+    struct Event
+    {
+        double time;
+        std::uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (time != o.time)
+                return time > o.time;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        heap_;
+    double now_ = 0.0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace sim
+} // namespace pimphony
+
+#endif // PIMPHONY_SIM_EVENT_QUEUE_HH

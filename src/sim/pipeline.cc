@@ -1,0 +1,40 @@
+#include "sim/pipeline.hh"
+
+#include <utility>
+
+namespace pimphony {
+namespace sim {
+
+void
+StagePipeline::submitCycle(EventQueue &queue, const WorkItem &base,
+                           double ready, std::function<void(double)> done)
+{
+    // Recursive chain: stage s's completion event submits stage s+1.
+    // Deferring each submission to the predecessor's completion keeps
+    // per-stage FIFO order consistent with event order, so cohorts
+    // queue at a busy stage instead of reserving it in advance.
+    using Advance = std::function<void(unsigned, double)>;
+    auto advance = std::make_shared<Advance>();
+    // The stored function holds only a weak reference to itself; the
+    // in-flight completion callbacks hold the strong one, so the
+    // chain frees itself after the last stage completes.
+    std::weak_ptr<Advance> weak = advance;
+    *advance = [this, &queue, base, done = std::move(done),
+                weak](unsigned s, double at) {
+        auto self = weak.lock();
+        WorkItem item = base;
+        item.stage = s;
+        bool last = (s + 1 == stages_.size());
+        stages_[s]->submit(queue, item, at,
+                           [self, s, last, done](double completion) {
+                               if (!last)
+                                   (*self)(s + 1, completion);
+                               else if (done)
+                                   done(completion);
+                           });
+    };
+    (*advance)(0, ready);
+}
+
+} // namespace sim
+} // namespace pimphony

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Pipeline-parallel stage composition for the event-driven core.
+ *
+ * A StagePipeline owns an ordered list of stage devices (each the
+ * serializing resource of one PP stage). One decode cycle of a
+ * cohort traverses every stage in order; the hand-off from stage s
+ * to s+1 happens at s's completion event, so cohort m+1 enters stage
+ * s while cohort m occupies s+1 — the pipeline overlap the analytic
+ * step model flattens into stageBeats * max_stage_sec.
+ */
+
+#ifndef PIMPHONY_SIM_PIPELINE_HH
+#define PIMPHONY_SIM_PIPELINE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/device.hh"
+#include "sim/event_queue.hh"
+#include "sim/work_item.hh"
+
+namespace pimphony {
+namespace sim {
+
+class StagePipeline
+{
+  public:
+    explicit StagePipeline(std::vector<Device *> stages)
+        : stages_(std::move(stages))
+    {
+    }
+
+    unsigned stageCount() const
+    {
+        return static_cast<unsigned>(stages_.size());
+    }
+
+    Device &stage(unsigned s) { return *stages_[s]; }
+    const Device &stage(unsigned s) const { return *stages_[s]; }
+
+    /**
+     * Submit one full decode cycle for a cohort: @p base describes
+     * the cohort/cycle, with base.seconds (and base.fcSeconds) the
+     * per-stage service time. The chain enters stage 0 no earlier
+     * than @p ready; @p done fires at the last stage's completion.
+     */
+    void submitCycle(EventQueue &queue, const WorkItem &base,
+                     double ready, std::function<void(double)> done);
+
+  private:
+    std::vector<Device *> stages_;
+};
+
+} // namespace sim
+} // namespace pimphony
+
+#endif // PIMPHONY_SIM_PIPELINE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Unit of scheduled work in the event-driven serving core: one
+ * cohort's (micro-batch's) occupancy of one pipeline stage for one
+ * decode cycle.
+ */
+
+#ifndef PIMPHONY_SIM_WORK_ITEM_HH
+#define PIMPHONY_SIM_WORK_ITEM_HH
+
+#include <cstdint>
+
+namespace pimphony {
+namespace sim {
+
+struct WorkItem
+{
+    /** Cohort (micro-batch) the work belongs to. */
+    std::uint32_t cohort = 0;
+
+    /** Pipeline stage index the item occupies. */
+    unsigned stage = 0;
+
+    /** Decode cycle (token index) of the cohort. */
+    std::uint64_t cycle = 0;
+
+    /** Service time on the stage's serializing device. */
+    double seconds = 0.0;
+
+    /**
+     * FC share of the service time, executed on the stage's xPU
+     * timeline when one exists (heterogeneous xPU+PIM systems). The
+     * xPU share never exceeds @ref seconds, so it shadows the
+     * serializing PIM timeline without gating it.
+     */
+    double fcSeconds = 0.0;
+};
+
+} // namespace sim
+} // namespace pimphony
+
+#endif // PIMPHONY_SIM_WORK_ITEM_HH

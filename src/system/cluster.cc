@@ -22,6 +22,14 @@ ClusterConfig::usableKvBytes(const LlmConfig &model) const
     return cap - weights;
 }
 
+unsigned
+ClusterConfig::prefillEngines() const
+{
+    if (kind == SystemKind::XpuPim)
+        return nModules; // one NPU per module, chunk-pipelined
+    return plan.tp > 0 ? plan.tp : nModules; // PNMs of one stage
+}
+
 ClusterConfig
 ClusterConfig::centLike(const LlmConfig &model)
 {

@@ -46,6 +46,16 @@ struct ClusterConfig
     Bytes usableKvBytes(const LlmConfig &model) const;
 
     /**
+     * Compute engines cooperating on one request's prefill. The
+     * NeuPIMs-like system chunk-pipelines prefill across PP stages,
+     * so every module's NPU contributes; the CENT-like system's PNMs
+     * execute the admitted request layer by layer without chunked
+     * prefill, so only the tp PNMs of one stage work at a time (with
+     * PP=1 deployments the two coincide at nModules).
+     */
+    unsigned prefillEngines() const;
+
+    /**
      * Table IV + Sec. VIII-A presets. PIM-only: 16 GB modules, 8
      * for 7B (128 GB) and 32 for 72B (512 GB). xPU+PIM: 32 GB
      * modules, 4 for 7B and 16 for 72B.

@@ -1,12 +1,29 @@
 #include "system/engine.hh"
 
 #include <algorithm>
+#include <functional>
+#include <list>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "common/units.hh"
+#include "sim/event_queue.hh"
+#include "sim/pipeline.hh"
+#include "sim/work_item.hh"
 #include "system/prefill.hh"
+#include "system/stage_device.hh"
 
 namespace pimphony {
+
+std::string
+stepModelName(StepModel model)
+{
+    switch (model) {
+      case StepModel::Analytic:    return "analytic";
+      case StepModel::EventDriven: return "event-driven";
+    }
+    return "?";
+}
 
 ServingEngine::ServingEngine(const ClusterConfig &cluster,
                              const LlmConfig &model,
@@ -34,8 +51,61 @@ ServingEngine::ServingEngine(const ClusterConfig &cluster,
                                model_.contextWindow);
     module_ = std::make_unique<PimModuleModel>(cluster_.module);
     xpu_ = std::make_unique<XpuModel>(cluster_.xpu);
+    sortByArrival(requests);
     for (auto &r : requests)
         pending_.push_back(r);
+}
+
+ServingEngine::AdmitOutcome
+ServingEngine::tryAdmitOne(const TimedRequest &timed, double &prefill_sec)
+{
+    prefill_sec = 0.0;
+    const Request &front = timed.request;
+    Tokens final_tokens = front.contextTokens + front.decodeTokens;
+    Bytes need = model_.kvBytesPerToken() * final_tokens;
+    if (need > allocator_->capacity() ||
+        final_tokens > model_.contextWindow) {
+        // Can never be served on this configuration.
+        ++result_.rejectedRequests;
+        return AdmitOutcome::Rejected;
+    }
+    // Headroom: only admit when the full decode trajectory fits
+    // next to the current reservations (avoids preemption storms).
+    if (allocator_->reservedBytes() + need > allocator_->capacity())
+        return AdmitOutcome::Blocked;
+    if (!allocator_->tryAdmit(front.id, front.contextTokens))
+        return AdmitOutcome::Blocked;
+    if (options_.chargePrefill) {
+        prefill_sec = prefillSeconds(model_, front.contextTokens,
+                                     cluster_.xpu,
+                                     cluster_.prefillEngines());
+        result_.prefillSeconds += prefill_sec;
+    }
+    return AdmitOutcome::Admitted;
+}
+
+bool
+ServingEngine::advanceMember(Active &a, double completion_clock,
+                             std::deque<TimedRequest> &requeue)
+{
+    Tokens total = a.request.contextTokens + a.generated + 1;
+    if (!allocator_->grow(a.request.id, total)) {
+        // Out of memory: preempt (vLLM-style recompute); the
+        // request re-queues with its original arrival time.
+        allocator_->release(a.request.id);
+        ++result_.preemptions;
+        requeue.push_back({a.request, a.arrival});
+        return false;
+    }
+    ++a.generated;
+    ++result_.generatedTokens;
+    if (a.generated >= a.request.decodeTokens) {
+        allocator_->release(a.request.id);
+        ++result_.completedRequests;
+        latencies_.push_back(completion_clock - a.arrival);
+        return false;
+    }
+    return true;
 }
 
 void
@@ -45,48 +115,25 @@ ServingEngine::admit()
         const TimedRequest &timed = pending_.front();
         if (timed.arrivalSeconds > result_.simulatedSeconds)
             break; // not yet arrived (open loop)
-        const Request &front = timed.request;
-        Tokens final_tokens = front.contextTokens + front.decodeTokens;
-        Bytes need = model_.kvBytesPerToken() * final_tokens;
-        if (need > allocator_->capacity() ||
-            final_tokens > model_.contextWindow) {
-            // Can never be served on this configuration.
-            ++result_.rejectedRequests;
-            pending_.pop_front();
-            continue;
-        }
-        // Headroom: only admit when the full decode trajectory fits
-        // next to the current reservations (avoids preemption storms).
-        if (allocator_->reservedBytes() + need > allocator_->capacity())
+        double prefill_sec = 0.0;
+        AdmitOutcome outcome = tryAdmitOne(timed, prefill_sec);
+        if (outcome == AdmitOutcome::Blocked)
             break;
-        if (!allocator_->tryAdmit(front.id, front.contextTokens))
-            break;
-        if (options_.chargePrefill) {
-            const XpuConfig &compute = cluster_.xpu;
-            unsigned engines = cluster_.kind == SystemKind::XpuPim
-                ? cluster_.nModules
-                : cluster_.nModules; // one PNM per module
-            double sec = prefillSeconds(model_, front.contextTokens,
-                                        compute, engines);
-            result_.prefillSeconds += sec;
-            result_.simulatedSeconds += sec;
+        if (outcome == AdmitOutcome::Admitted) {
+            result_.simulatedSeconds += prefill_sec;
+            active_.push_back({timed.request, 0, timed.arrivalSeconds});
         }
-        active_.push_back({front, 0, timed.arrivalSeconds});
         pending_.pop_front();
     }
 }
 
-double
-ServingEngine::stepSeconds(std::vector<double> &busy_acc,
-                           std::vector<double> &span_acc)
+ServingEngine::CyclePlan
+ServingEngine::planCohortCycle(const Active *begin, const Active *end)
 {
     const unsigned tp = cluster_.plan.tp;
     const unsigned pp = cluster_.plan.pp;
     const std::uint32_t batch =
-        static_cast<std::uint32_t>(active_.size());
-
-    MicroBatching mb = planMicroBatches(batch, pp);
-    const std::uint32_t mbs = mb.microBatchSize;
+        static_cast<std::uint32_t>(end - begin);
     const unsigned layers_per_stage = std::max(1u, model_.nLayers / pp);
     const unsigned kvh = model_.kvHeads();
     const unsigned jobs_per_req = std::max(1u, ceilDiv(kvh, tp));
@@ -94,6 +141,105 @@ ServingEngine::stepSeconds(std::vector<double> &busy_acc,
     // a head split its token range (sequence parallelism); the extra
     // partial reduction folds into the EPU path.
     const unsigned seq_split = tp > kvh ? tp / kvh : 1;
+
+    std::vector<AttentionJob> jobs;
+    jobs.reserve(batch * jobs_per_req);
+    for (const Active *it = begin; it != end; ++it) {
+        const Active &a = *it;
+        Tokens t = a.request.contextTokens + a.generated;
+        Tokens t_mod = seq_split > 1 ? ceilDiv<Tokens>(t, seq_split) : t;
+        for (unsigned h = 0; h < jobs_per_req; ++h)
+            jobs.push_back({a.request.id, h, t_mod});
+    }
+
+    PhaseResult att = module_->attentionLayer(jobs, model_);
+    double fc_sec;
+    PhaseResult fc;
+    if (cluster_.kind == SystemKind::PimOnly) {
+        fc = module_->fcLayer(batch, model_, tp);
+        fc_sec = fc.seconds;
+    } else {
+        double layer_params = static_cast<double>(model_.paramCount()) /
+                              model_.nLayers;
+        double flops = 2.0 * layer_params / tp *
+                       static_cast<double>(batch);
+        Bytes w = static_cast<Bytes>(
+            static_cast<double>(model_.weightBytes()) /
+            model_.nLayers / tp);
+        fc_sec = xpu_->gemmSeconds(flops, w, batch);
+        // Simple NPU energy: 0.4 pJ/FLOP.
+        fc.energy.elseE = flops * 0.4;
+    }
+
+    double sync = 2.0 * allReduceSeconds(
+        static_cast<Bytes>(batch) * model_.dModel * 2, tp,
+        cluster_.linkBandwidth, cluster_.linkAlpha);
+
+    double layer_sec = cluster_.kind == SystemKind::PimOnly
+        ? att.seconds + fc_sec + sync
+        : std::max(att.seconds, fc_sec) + sync;
+
+    CyclePlan plan;
+    plan.stageSeconds = layers_per_stage * layer_sec;
+    plan.fcStageSeconds = cluster_.kind == SystemKind::XpuPim
+        ? layers_per_stage * fc_sec
+        : 0.0;
+
+    // Per full cycle the cohort crosses all pp stages.
+    double layers_total = static_cast<double>(layers_per_stage) * pp;
+    plan.attSeconds = att.seconds * layers_total;
+    plan.fcSeconds = fc_sec * layers_total;
+    plan.busyChannelCycles =
+        (att.busyChannelCycles + fc.busyChannelCycles) * layers_total *
+        tp;
+    plan.attEnergy = att.energy.scaled(layers_total * tp);
+    plan.fcEnergy = fc.energy.scaled(layers_total * tp);
+    return plan;
+}
+
+void
+ServingEngine::accountCycle(const CyclePlan &plan, double span_cycles,
+                            std::vector<double> &busy_acc,
+                            std::vector<double> &span_acc)
+{
+    busy_acc.push_back(plan.busyChannelCycles);
+    span_acc.push_back(span_cycles);
+
+    double spc = cluster_.module.timing.secondsPerCycle();
+    double busy_span_cycles =
+        (plan.attSeconds + (cluster_.kind == SystemKind::PimOnly
+                                ? plan.fcSeconds
+                                : 0.0)) /
+        spc * cluster_.module.nChannels * cluster_.plan.tp;
+    double idle = span_cycles - busy_span_cycles;
+    EnergyBreakdown att_energy = plan.attEnergy;
+    EnergyBreakdown fc_energy = plan.fcEnergy;
+    if (idle > 0) {
+        // Attribute idle background proportionally to phase time.
+        double tot = plan.attSeconds + plan.fcSeconds;
+        double att_share = tot > 0 ? plan.attSeconds / tot : 1.0;
+        EnergyBreakdown bg = backgroundEnergy(
+            static_cast<Cycle>(idle), 1, EnergyParams{});
+        att_energy += bg.scaled(att_share);
+        fc_energy += bg.scaled(1.0 - att_share);
+    }
+
+    result_.attentionSeconds += plan.attSeconds;
+    result_.fcSeconds += plan.fcSeconds;
+    result_.attentionEnergy += att_energy;
+    result_.fcEnergy += fc_energy;
+}
+
+double
+ServingEngine::stepSeconds(std::vector<double> &busy_acc,
+                           std::vector<double> &span_acc)
+{
+    const unsigned pp = cluster_.plan.pp;
+    const std::uint32_t batch =
+        static_cast<std::uint32_t>(active_.size());
+
+    MicroBatching mb = planMicroBatches(batch, pp);
+    const std::uint32_t mbs = mb.microBatchSize;
 
     double max_stage_sec = 0.0;
     double step_att_sec = 0.0, step_fc_sec = 0.0;
@@ -105,55 +251,14 @@ ServingEngine::stepSeconds(std::vector<double> &busy_acc,
         std::uint32_t hi = std::min<std::uint32_t>(lo + mbs, batch);
         if (lo >= hi)
             continue;
-        std::vector<AttentionJob> jobs;
-        jobs.reserve((hi - lo) * jobs_per_req);
-        for (std::uint32_t i = lo; i < hi; ++i) {
-            Tokens t = active_[i].request.contextTokens +
-                       active_[i].generated;
-            Tokens t_mod = seq_split > 1
-                ? ceilDiv<Tokens>(t, seq_split)
-                : t;
-            for (unsigned h = 0; h < jobs_per_req; ++h)
-                jobs.push_back({active_[i].request.id, h, t_mod});
-        }
-
-        PhaseResult att = module_->attentionLayer(jobs, model_);
-        double fc_sec;
-        PhaseResult fc;
-        if (cluster_.kind == SystemKind::PimOnly) {
-            fc = module_->fcLayer(hi - lo, model_, tp);
-            fc_sec = fc.seconds;
-        } else {
-            double layer_params = static_cast<double>(model_.paramCount()) /
-                                  model_.nLayers;
-            double flops = 2.0 * layer_params / tp *
-                           static_cast<double>(hi - lo);
-            Bytes w = static_cast<Bytes>(
-                static_cast<double>(model_.weightBytes()) /
-                model_.nLayers / tp);
-            fc_sec = xpu_->gemmSeconds(flops, w, hi - lo);
-            // Simple NPU energy: 0.4 pJ/FLOP.
-            fc.energy.elseE = flops * 0.4;
-        }
-
-        double sync = 2.0 * allReduceSeconds(
-            static_cast<Bytes>(hi - lo) * model_.dModel * 2, tp,
-            cluster_.linkBandwidth, cluster_.linkAlpha);
-
-        double layer_sec = cluster_.kind == SystemKind::PimOnly
-            ? att.seconds + fc_sec + sync
-            : std::max(att.seconds, fc_sec) + sync;
-        double stage_sec = layers_per_stage * layer_sec;
-        max_stage_sec = std::max(max_stage_sec, stage_sec);
-
-        // Per full step this micro-batch crosses all pp stages.
-        double layers_total = static_cast<double>(layers_per_stage) * pp;
-        step_att_sec += att.seconds * layers_total;
-        step_fc_sec += fc_sec * layers_total;
-        step_busy += (att.busyChannelCycles + fc.busyChannelCycles) *
-                     layers_total * tp;
-        att_energy += att.energy.scaled(layers_total * tp);
-        fc_energy += fc.energy.scaled(layers_total * tp);
+        CyclePlan plan = planCohortCycle(active_.data() + lo,
+                                         active_.data() + hi);
+        max_stage_sec = std::max(max_stage_sec, plan.stageSeconds);
+        step_att_sec += plan.attSeconds;
+        step_fc_sec += plan.fcSeconds;
+        step_busy += plan.busyChannelCycles;
+        att_energy += plan.attEnergy;
+        fc_energy += plan.fcEnergy;
     }
 
     double step_sec = mb.stageBeats * max_stage_sec;
@@ -169,7 +274,7 @@ ServingEngine::stepSeconds(std::vector<double> &busy_acc,
         (step_att_sec + (cluster_.kind == SystemKind::PimOnly
                              ? step_fc_sec
                              : 0.0)) /
-        spc * cluster_.module.nChannels * tp;
+        spc * cluster_.module.nChannels * cluster_.plan.tp;
     double idle = span - busy_span_cycles;
     if (idle > 0) {
         // Attribute idle background proportionally to phase time.
@@ -191,6 +296,13 @@ ServingEngine::stepSeconds(std::vector<double> &busy_acc,
 
 EngineResult
 ServingEngine::run()
+{
+    return options_.stepModel == StepModel::Analytic ? runAnalytic()
+                                                     : runEventDriven();
+}
+
+EngineResult
+ServingEngine::runAnalytic()
 {
     std::vector<double> busy_acc, span_acc;
     double batch_time = 0.0;   // integral of batch over time
@@ -228,25 +340,8 @@ ServingEngine::run()
         std::vector<Active> next;
         next.reserve(active_.size());
         for (auto &a : active_) {
-            Tokens total = a.request.contextTokens + a.generated + 1;
-            if (!allocator_->grow(a.request.id, total)) {
-                // Out of memory: preempt (vLLM-style recompute); the
-                // request re-queues with its original arrival time.
-                allocator_->release(a.request.id);
-                ++result_.preemptions;
-                pending_.push_back({a.request, a.arrival});
-                continue;
-            }
-            ++a.generated;
-            ++result_.generatedTokens;
-            if (a.generated >= a.request.decodeTokens) {
-                allocator_->release(a.request.id);
-                ++result_.completedRequests;
-                latencies_.push_back(result_.simulatedSeconds -
-                                     a.arrival);
-            } else {
+            if (advanceMember(a, result_.simulatedSeconds, pending_))
                 next.push_back(a);
-            }
         }
         active_ = std::move(next);
         admit();
@@ -255,6 +350,246 @@ ServingEngine::run()
         warn("engine stopped at the step cap (%llu)",
              static_cast<unsigned long long>(options_.maxSteps));
 
+    finalizeResult(busy_acc, span_acc, batch_time, capacity_time);
+    return result_;
+}
+
+EngineResult
+ServingEngine::runEventDriven()
+{
+    const unsigned pp = cluster_.plan.pp;
+    const double spc = cluster_.module.timing.secondsPerCycle();
+
+    sim::EventQueue queue;
+    StageDeviceSet stages(pp, *module_,
+                          cluster_.kind == SystemKind::XpuPim
+                              ? xpu_.get()
+                              : nullptr);
+
+    struct Cohort
+    {
+        std::uint32_t id = 0;
+        std::uint64_t cycle = 0;
+        std::vector<Active> members;
+    };
+
+    std::vector<double> busy_acc, span_acc;
+    double batch_time = 0.0;
+    double capacity_time = 0.0;
+    double last_account = 0.0;
+    double end_time = 0.0;
+
+    std::list<Cohort> cohorts; // in flight; list keeps addresses stable
+    std::deque<TimedRequest> arrived;
+    std::vector<Active> ready_pool; // admitted, waiting for a cohort
+    std::uint32_t next_cohort_id = 0;
+    std::uint64_t cycles = 0;
+    bool capped = false;
+
+    auto inFlightCount = [&cohorts]() {
+        std::size_t n = 0;
+        for (const auto &c : cohorts)
+            n += c.members.size();
+        return n;
+    };
+    // Effective batch counts decoding requests only; pooled requests
+    // hold memory but are not batched on any device.
+    auto activeCount = [&]() {
+        return static_cast<double>(inFlightCount());
+    };
+
+    // Integrate the batch/capacity time-averages up to t with the
+    // state held over [last_account, t).
+    auto accountTo = [&](double t) {
+        if (t <= last_account)
+            return;
+        double dt = t - last_account;
+        batch_time += dt * activeCount();
+        capacity_time += dt * allocator_->capacityUtilization();
+        last_account = t;
+        end_time = std::max(end_time, t);
+    };
+
+    // When prefill is charged, admissions serialize behind this
+    // clock and cohorts start no earlier than it — the event-path
+    // analogue of the analytic path bumping the global clock.
+    double prefill_ready = 0.0;
+
+    // Admission under the same per-request rules as the analytic
+    // path (tryAdmitOne); admitted requests append to @p out.
+    auto tryAdmitInto = [&](std::vector<Active> &out, double now) {
+        while (!arrived.empty()) {
+            const TimedRequest &timed = arrived.front();
+            double prefill_sec = 0.0;
+            AdmitOutcome outcome = tryAdmitOne(timed, prefill_sec);
+            if (outcome == AdmitOutcome::Blocked)
+                break;
+            if (outcome == AdmitOutcome::Admitted) {
+                prefill_ready =
+                    std::max(prefill_ready, now) + prefill_sec;
+                out.push_back({timed.request, 0,
+                               timed.arrivalSeconds});
+            }
+            arrived.pop_front();
+        }
+    };
+
+    std::function<void(Cohort &, double)> startCycle;
+    std::function<void(Cohort &, double)> onCycleComplete;
+    std::function<void(double)> formNewCohorts;
+
+    startCycle = [&](Cohort &c, double ready) {
+        CyclePlan plan = planCohortCycle(
+            c.members.data(), c.members.data() + c.members.size());
+        double span_cycles = plan.stageSeconds * pp / spc *
+                             cluster_.module.nChannels *
+                             cluster_.plan.tp;
+        accountCycle(plan, span_cycles, busy_acc, span_acc);
+
+        sim::WorkItem item;
+        item.cohort = c.id;
+        item.cycle = c.cycle++;
+        item.seconds = plan.stageSeconds;
+        item.fcSeconds = plan.fcStageSeconds;
+        Cohort *cohort = &c;
+        stages.pipeline().submitCycle(
+            queue, item, ready,
+            [&onCycleComplete, cohort](double t) {
+                onCycleComplete(*cohort, t);
+            });
+    };
+
+    onCycleComplete = [&](Cohort &c, double t) {
+        accountTo(t);
+
+        // Advance every cohort member by one token.
+        std::vector<Active> next;
+        next.reserve(c.members.size());
+        for (auto &a : c.members) {
+            if (advanceMember(a, t, arrived))
+                next.push_back(a);
+        }
+        c.members = std::move(next);
+
+        ++cycles;
+        if (cycles >= options_.maxSteps)
+            capped = true;
+
+        // Continuous batching with balanced cohorts: survivors and
+        // admissible pending requests meet in the ready pool
+        // (survivors first, so mid-decode requests keep priority),
+        // and the cohort refills up to a fair share of the active
+        // set. The cap keeps cohorts balanced the way the analytic
+        // model's per-step re-split does, while leaving the other
+        // cohorts' in-flight cycles untouched.
+        if (!capped) {
+            tryAdmitInto(ready_pool, t);
+            ready_pool.insert(ready_pool.begin(),
+                              std::make_move_iterator(c.members.begin()),
+                              std::make_move_iterator(c.members.end()));
+            c.members.clear();
+            std::size_t others = inFlightCount();
+            std::size_t total = others + ready_pool.size();
+            std::size_t target = std::max<std::size_t>(
+                1, ceilDiv<std::size_t>(total, pp));
+            std::size_t take =
+                std::min<std::size_t>(target, ready_pool.size());
+            if (take > 0) {
+                c.members.assign(
+                    std::make_move_iterator(ready_pool.begin()),
+                    std::make_move_iterator(ready_pool.begin() + take));
+                ready_pool.erase(ready_pool.begin(),
+                                 ready_pool.begin() + take);
+            }
+        }
+        if (!c.members.empty() && !capped) {
+            startCycle(c, std::max(t, prefill_ready));
+        } else {
+            Cohort *self = &c;
+            cohorts.remove_if(
+                [self](const Cohort &x) { return &x == self; });
+        }
+        formNewCohorts(t);
+    };
+
+    formNewCohorts = [&](double t) {
+        for (;;) {
+            if (capped)
+                return;
+            if (cohorts.size() >= pp)
+                return; // pipeline slots full; rebalance at cycle ends
+            tryAdmitInto(ready_pool, t);
+            if (ready_pool.empty()) {
+                // Deadlock guard: nothing in flight, nothing
+                // admissible, and no event can change that -> the
+                // front request can never be served; reject it.
+                if (cohorts.empty() && queue.empty() &&
+                    !arrived.empty()) {
+                    ++result_.rejectedRequests;
+                    arrived.pop_front();
+                    continue;
+                }
+                return;
+            }
+            std::size_t total = inFlightCount() + ready_pool.size();
+            std::size_t target = std::max<std::size_t>(
+                1, ceilDiv<std::size_t>(total, pp));
+            std::size_t take =
+                std::min<std::size_t>(target, ready_pool.size());
+            cohorts.push_back(Cohort{
+                next_cohort_id++, 0,
+                {std::make_move_iterator(ready_pool.begin()),
+                 std::make_move_iterator(ready_pool.begin() + take)}});
+            ready_pool.erase(ready_pool.begin(),
+                             ready_pool.begin() + take);
+            startCycle(cohorts.back(), std::max(t, prefill_ready));
+        }
+    };
+
+    // Open-loop arrivals become events; time-zero requests are
+    // available immediately. Only the head arrival is scheduled —
+    // each arrival event chains the next one, so the event heap
+    // stays O(1) in the trace length.
+    std::deque<TimedRequest> future;
+    while (!pending_.empty()) {
+        TimedRequest timed = pending_.front();
+        pending_.pop_front();
+        if (timed.arrivalSeconds <= 0.0)
+            arrived.push_back(timed);
+        else
+            future.push_back(timed); // ctor sorted by arrival
+    }
+    std::function<void(double)> onArrival = [&](double t) {
+        accountTo(t);
+        while (!future.empty() &&
+               future.front().arrivalSeconds <= t) {
+            arrived.push_back(future.front());
+            future.pop_front();
+        }
+        if (!future.empty())
+            queue.schedule(future.front().arrivalSeconds, onArrival);
+        formNewCohorts(t);
+    };
+    if (!future.empty())
+        queue.schedule(future.front().arrivalSeconds, onArrival);
+
+    formNewCohorts(0.0);
+    queue.runAll();
+
+    if (capped)
+        warn("engine stopped at the cycle cap (%llu)",
+             static_cast<unsigned long long>(options_.maxSteps));
+
+    result_.simulatedSeconds = end_time;
+    finalizeResult(busy_acc, span_acc, batch_time, capacity_time);
+    return result_;
+}
+
+void
+ServingEngine::finalizeResult(const std::vector<double> &busy_acc,
+                              const std::vector<double> &span_acc,
+                              double batch_time, double capacity_time)
+{
     if (result_.simulatedSeconds > 0.0) {
         result_.tokensPerSecond =
             static_cast<double>(result_.generatedTokens) /
@@ -278,12 +613,9 @@ ServingEngine::run()
             sum += l;
         result_.avgRequestLatency =
             sum / static_cast<double>(latencies_.size());
-        std::size_t p95 = latencies_.size() * 95 / 100;
-        if (p95 >= latencies_.size())
-            p95 = latencies_.size() - 1;
-        result_.p95RequestLatency = latencies_[p95];
+        result_.p95RequestLatency =
+            nearestRankPercentile(latencies_, 95.0);
     }
-    return result_;
 }
 
 EngineResult

@@ -4,6 +4,16 @@
  * system with TP/PP parallelism, allocator-driven admission, and
  * per-step latency composed from the module models.
  *
+ * Two step models are available. The event-driven core (default)
+ * schedules per-cohort (micro-batch), per-stage work items on the
+ * sim subsystem's event queue: cohorts traverse the PP stages as
+ * FIFO devices and decode asynchronously, so a fast cohort is not
+ * padded to the slowest one and admission is arrival-driven. The
+ * analytic model collapses each step into the closed-form
+ * stageBeats * max_stage_sec expression; the two agree on PP=1
+ * (single-cohort) configurations, where the pipeline recurrence
+ * degenerates to the closed form.
+ *
  * Scope note: the evaluation targets the decoding phase, where the
  * paper locates the PIM bottlenecks; prefill is charged to memory on
  * admission but not to time (all compared systems would pay the same
@@ -26,11 +36,24 @@
 
 namespace pimphony {
 
+/** How the engine composes device time into serving time. */
+enum class StepModel {
+    /** Closed-form lockstep steps: stageBeats * max_stage_sec. */
+    Analytic,
+
+    /** Event-driven cohort pipeline on the sim core (default). */
+    EventDriven,
+};
+
+std::string stepModelName(StepModel model);
+
 struct EngineOptions
 {
     AllocatorKind allocator = AllocatorKind::Static;
 
-    /** Cap on simulated decode steps (safety valve). */
+    StepModel stepModel = StepModel::EventDriven;
+
+    /** Cap on simulated decode steps / cohort cycles (safety valve). */
     std::uint64_t maxSteps = 200000;
 
     /**
@@ -96,12 +119,75 @@ class ServingEngine
         double arrival = 0.0;
     };
 
+    /**
+     * Device-time plan for one decode cycle of one cohort
+     * (micro-batch): the per-stage service time plus the cycle's
+     * aggregate phase seconds, occupancy, and energy. Both step
+     * models are composed from these plans; they differ only in how
+     * plans are laid out in time.
+     */
+    struct CyclePlan
+    {
+        /** Service seconds of one PP stage (uniform stages). */
+        double stageSeconds = 0.0;
+
+        /** xPU share of one stage's service (XpuPim overlap). */
+        double fcStageSeconds = 0.0;
+
+        /** Whole-cycle (all layers, all stages) phase seconds. */
+        double attSeconds = 0.0;
+        double fcSeconds = 0.0;
+
+        /** MAC-busy channel-cycles across the tp module group. */
+        double busyChannelCycles = 0.0;
+
+        EnergyBreakdown attEnergy;
+        EnergyBreakdown fcEnergy;
+    };
+
     /** Admit arrived pending requests while memory allows. */
     void admit();
 
-    /** Seconds for one decode step of the current active set. */
+    /**
+     * Per-request admission rule shared by both step models:
+     * Rejected = can never be served here, Blocked = waits for
+     * memory, Admitted = reserved (with @p prefill_sec the prefill
+     * charge when EngineOptions::chargePrefill is on).
+     */
+    enum class AdmitOutcome { Admitted, Rejected, Blocked };
+    AdmitOutcome tryAdmitOne(const TimedRequest &timed,
+                             double &prefill_sec);
+
+    /**
+     * Advance @p a by the one token produced at @p completion_clock:
+     * grow-or-preempt (re-queueing to @p requeue with the original
+     * arrival), then complete-or-continue. Returns false when the
+     * request leaves the active set. Shared by both step models.
+     */
+    bool advanceMember(Active &a, double completion_clock,
+                       std::deque<TimedRequest> &requeue);
+
+    /** Device-time plan for one decode cycle of [@p begin, @p end). */
+    CyclePlan planCohortCycle(const Active *begin, const Active *end);
+
+    /**
+     * Record a cycle's phase seconds, occupancy, and energy
+     * (including the idle-background share over @p span_cycles of
+     * channel occupancy) into the running result.
+     */
+    void accountCycle(const CyclePlan &plan, double span_cycles,
+                      std::vector<double> &busy_acc,
+                      std::vector<double> &span_acc);
+
+    /** Seconds for one lockstep decode step of the active set. */
     double stepSeconds(std::vector<double> &busy_acc,
                        std::vector<double> &span_acc);
+
+    EngineResult runAnalytic();
+    EngineResult runEventDriven();
+    void finalizeResult(const std::vector<double> &busy_acc,
+                        const std::vector<double> &span_acc,
+                        double batch_time, double capacity_time);
 
     ClusterConfig cluster_;
     LlmConfig model_;

@@ -1,0 +1,42 @@
+#include "system/stage_device.hh"
+
+#include <algorithm>
+
+namespace pimphony {
+
+PipelineStage::PipelineStage(std::string name, PimModuleModel &pim,
+                             XpuModel *xpu)
+    : sim::Device(name), pim_(name + ".pim", pim)
+{
+    if (xpu)
+        xpu_ = std::make_unique<XpuStageDevice>(name + ".xpu", *xpu);
+}
+
+double
+PipelineStage::submit(sim::EventQueue &queue, const sim::WorkItem &item,
+                      double ready, CompletionFn done)
+{
+    double completion = pim_.submit(queue, item, ready, std::move(done));
+    if (xpu_ && item.fcSeconds > 0.0) {
+        sim::WorkItem fc = item;
+        fc.seconds = std::min(item.fcSeconds, item.seconds);
+        fc.fcSeconds = 0.0;
+        // Shadow submission: starts when the composite item does.
+        xpu_->submit(queue, fc, completion - item.seconds);
+    }
+    return completion;
+}
+
+StageDeviceSet::StageDeviceSet(unsigned pp, PimModuleModel &pim,
+                               XpuModel *xpu)
+{
+    std::vector<sim::Device *> devices;
+    for (unsigned s = 0; s < pp; ++s) {
+        stages_.push_back(std::make_unique<PipelineStage>(
+            "stage" + std::to_string(s), pim, xpu));
+        devices.push_back(stages_.back().get());
+    }
+    pipeline_ = std::make_unique<sim::StagePipeline>(devices);
+}
+
+} // namespace pimphony

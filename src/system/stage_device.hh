@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Adapters that put the system's device models behind the sim core's
+ * Device interface.
+ *
+ * One pipeline stage of the serving engine is a PipelineStage: its
+ * serializing timeline is the PIM side (attention always runs
+ * there), and in xPU+PIM systems an xPU timeline shadows the FC
+ * share of each work item — FC of one cohort overlaps PIM attention
+ * of the same (and, across stages, other) cohorts, which is the
+ * overlap NeuPIMs-like systems are built around.
+ */
+
+#ifndef PIMPHONY_SYSTEM_STAGE_DEVICE_HH
+#define PIMPHONY_SYSTEM_STAGE_DEVICE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/device.hh"
+#include "sim/pipeline.hh"
+#include "system/pim_module.hh"
+#include "system/xpu.hh"
+
+namespace pimphony {
+
+/** The PIM side of a stage: a FIFO timeline over a module model. */
+class PimStageDevice : public sim::Device
+{
+  public:
+    PimStageDevice(std::string name, PimModuleModel &model)
+        : sim::Device(std::move(name)), model_(&model)
+    {
+    }
+
+    PimModuleModel &model() { return *model_; }
+
+  private:
+    PimModuleModel *model_;
+};
+
+/** The xPU side of a stage: a FIFO timeline over an xPU model. */
+class XpuStageDevice : public sim::Device
+{
+  public:
+    XpuStageDevice(std::string name, XpuModel &model)
+        : sim::Device(std::move(name)), model_(&model)
+    {
+    }
+
+    XpuModel &model() { return *model_; }
+
+  private:
+    XpuModel *model_;
+};
+
+/**
+ * One PP stage: serializes cohorts on the PIM timeline and, when an
+ * xPU timeline is attached, shadows each item's FC share there. The
+ * FC share never exceeds the item's total service time, so the xPU
+ * timeline trails the PIM one and never gates the pipeline.
+ */
+class PipelineStage : public sim::Device
+{
+  public:
+    PipelineStage(std::string name, PimModuleModel &pim, XpuModel *xpu);
+
+    double submit(sim::EventQueue &queue, const sim::WorkItem &item,
+                  double ready, CompletionFn done = nullptr) override;
+
+    double busyUntil() const override { return pim_.busyUntil(); }
+    double busySeconds() const override { return pim_.busySeconds(); }
+    std::uint64_t completedItems() const override
+    {
+        return pim_.completedItems();
+    }
+
+    PimStageDevice &pim() { return pim_; }
+    XpuStageDevice *xpu() { return xpu_ ? xpu_.get() : nullptr; }
+
+  private:
+    PimStageDevice pim_;
+    std::unique_ptr<XpuStageDevice> xpu_;
+};
+
+/**
+ * Build the per-stage devices for a PP-deep pipeline and a
+ * StagePipeline view over them.
+ */
+class StageDeviceSet
+{
+  public:
+    StageDeviceSet(unsigned pp, PimModuleModel &pim, XpuModel *xpu);
+
+    sim::StagePipeline &pipeline() { return *pipeline_; }
+    PipelineStage &stage(unsigned s) { return *stages_[s]; }
+    unsigned count() const
+    {
+        return static_cast<unsigned>(stages_.size());
+    }
+
+  private:
+    std::vector<std::unique_ptr<PipelineStage>> stages_;
+    std::unique_ptr<sim::StagePipeline> pipeline_;
+};
+
+} // namespace pimphony
+
+#endif // PIMPHONY_SYSTEM_STAGE_DEVICE_HH

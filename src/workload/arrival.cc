@@ -1,5 +1,6 @@
 #include "workload/arrival.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -24,6 +25,15 @@ poissonArrivals(const std::vector<Request> &requests,
         out.push_back({r, t});
     }
     return out;
+}
+
+void
+sortByArrival(std::vector<TimedRequest> &requests)
+{
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const TimedRequest &a, const TimedRequest &b) {
+                         return a.arrivalSeconds < b.arrivalSeconds;
+                     });
 }
 
 std::vector<TimedRequest>

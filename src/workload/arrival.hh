@@ -38,6 +38,14 @@ std::vector<TimedRequest> poissonArrivals(const std::vector<Request> &requests,
 std::vector<TimedRequest>
 immediateArrivals(const std::vector<Request> &requests);
 
+/**
+ * Stable-sort @p requests by arrival time. The serving engine's
+ * admission queue and the event-driven core's arrival events both
+ * assume nondecreasing arrival order; generators already satisfy it,
+ * hand-built traces may not.
+ */
+void sortByArrival(std::vector<TimedRequest> &requests);
+
 } // namespace pimphony
 
 #endif // PIMPHONY_WORKLOAD_ARRIVAL_HH
