@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Prefill/decode interference sweep: chunk size x arrival rate on
+ * the xPU+PIM system under the event-driven engine. Prefill chunks
+ * share the per-stage xPU timelines with decode FC work, so coarse
+ * chunks stall decode tokens (large p95 token gap) while fine chunks
+ * trade a little TTFT for a much smoother decode — the continuous
+ * batching tradeoff. chunk = 0 rows charge prefill as an unchunked
+ * scalar at admission for reference; by construction every chunking
+ * charges the same total prefill seconds.
+ *
+ * Run with --smoke for a tiny sweep (CI keeps the harness alive).
+ */
+
+#include "bench_util.hh"
+
+#include <cstring>
+
+#include "system/prefill.hh"
+#include "workload/arrival.hh"
+
+using namespace pimphony;
+
+namespace {
+
+void
+sweep(std::size_t n_requests, Tokens context, Tokens decode,
+      const std::vector<double> &rates, const std::vector<Tokens> &chunks)
+{
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::neupimsLike(model);
+    applyOptions(cluster, PimphonyOptions::all());
+
+    double scalar = prefillSeconds(model, context, cluster.xpu,
+                                   cluster.prefillEngines());
+    printBanner(std::cout,
+                "Chunked prefill vs decode, xPU+PIM, LLM-7B-128K-GQA");
+    std::cout << "context " << context << " tok, scalar prefill "
+              << TablePrinter::fmt(scalar * 1e3, 1) << " ms/request\n";
+
+    std::vector<Request> reqs;
+    for (RequestId i = 0; i < n_requests; ++i)
+        reqs.push_back({i, context, decode});
+
+    TablePrinter t({"rate (req/s)", "chunk (tok)", "tok/s",
+                    "ttft p95 (s)", "gap p95 (ms)", "prefill (s)"});
+    for (double rate : rates) {
+        auto timed = poissonArrivals(reqs, rate, 17);
+        for (Tokens chunk : chunks) {
+            EngineOptions opts;
+            opts.allocator = AllocatorKind::LazyChunk;
+            opts.stepModel = StepModel::EventDriven;
+            opts.prefillChunkTokens = chunk;
+            opts.chargePrefill = chunk == 0;
+            auto r = ServingEngine(cluster, model, timed, opts).run();
+            t.addRow({TablePrinter::fmt(rate, 1),
+                      chunk == 0 ? "scalar" : std::to_string(chunk),
+                      TablePrinter::fmt(r.tokensPerSecond, 1),
+                      TablePrinter::fmt(r.p95FirstTokenSeconds, 2),
+                      TablePrinter::fmt(r.p95TokenGapSeconds * 1e3, 1),
+                      TablePrinter::fmt(r.prefillSeconds, 2)});
+        }
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::QuietLogs quiet;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    if (smoke)
+        sweep(8, 30000, 16, {1.5}, {0, 30000, 1024});
+    else
+        sweep(32, 30000, 64, {0.5, 1.0, 1.5},
+              {0, 30000, 8192, 2048, 1024, 256});
+    return 0;
+}

@@ -52,6 +52,8 @@ PimphonyOrchestrator::runPlan(const std::vector<Request> &requests,
     opts.allocator = config_.options.dpa ? AllocatorKind::LazyChunk
                                          : AllocatorKind::Static;
     opts.stepModel = config_.stepModel;
+    opts.prefillChunkTokens = config_.prefillChunkTokens;
+    opts.chargePrefill = config_.chargePrefill;
     opts.maxSteps = config_.maxSteps;
     ServingEngine engine(c, config_.model, requests, opts);
     EvaluationResult out;

@@ -32,6 +32,18 @@ struct OrchestratorConfig
     /** Serving-time composition model (see StepModel). */
     StepModel stepModel = StepModel::EventDriven;
 
+    /**
+     * Context tokens per prefill chunk (see
+     * EngineOptions::prefillChunkTokens): > 0 runs prefill as
+     * chunked pipeline work on the xPU stage timelines under the
+     * event-driven model; 0 keeps prefill off the clock unless
+     * @ref chargePrefill is set.
+     */
+    Tokens prefillChunkTokens = 0;
+
+    /** Charge scalar prefill time at admission (see EngineOptions). */
+    bool chargePrefill = false;
+
     /** Module-count override (0 = the preset's deployment size). */
     unsigned modulesOverride = 0;
 

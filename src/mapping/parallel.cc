@@ -42,6 +42,29 @@ planMicroBatches(std::uint32_t batch, unsigned pp)
     return mb;
 }
 
+unsigned
+stageLayers(unsigned n_layers, unsigned pp, unsigned stage)
+{
+    if (pp == 0)
+        panic("pipeline with zero stages");
+    if (stage >= pp)
+        panic("stage %u outside a %u-deep pipeline", stage, pp);
+    unsigned base = std::max(1u, n_layers / pp);
+    if (stage + 1 < pp)
+        return base;
+    unsigned assigned = (pp - 1) * base;
+    // Oversubscribed pipelines (pp > n_layers) keep one layer per
+    // stage; otherwise the last stage absorbs the remainder.
+    return n_layers > assigned ? n_layers - assigned : base;
+}
+
+unsigned
+stageLayersTotal(unsigned n_layers, unsigned pp)
+{
+    return (pp - 1) * stageLayers(n_layers, pp, 0) +
+           stageLayers(n_layers, pp, pp - 1);
+}
+
 double
 allReduceSeconds(Bytes bytes, unsigned tp, double link_bytes_per_sec,
                  double alpha_seconds)

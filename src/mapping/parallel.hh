@@ -49,6 +49,19 @@ struct MicroBatching
 MicroBatching planMicroBatches(std::uint32_t batch, unsigned pp);
 
 /**
+ * Layers assigned to @p stage of a @p pp-deep pipeline over
+ * @p n_layers: every stage gets floor(n_layers / pp) (at least 1)
+ * and the last stage additionally absorbs the remainder, so layer
+ * counts sum to n_layers whenever pp <= n_layers. The serving
+ * engine's step models charge the last stage's longer service
+ * accordingly.
+ */
+unsigned stageLayers(unsigned n_layers, unsigned pp, unsigned stage);
+
+/** Sum of stageLayers over all @p pp stages. */
+unsigned stageLayersTotal(unsigned n_layers, unsigned pp);
+
+/**
  * Latency of one tensor-parallel all-reduce of @p bytes across
  * @p tp modules over a link of @p link_bytes_per_sec with fixed
  * per-hop latency @p alpha_seconds (ring all-reduce).

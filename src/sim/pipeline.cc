@@ -2,38 +2,114 @@
 
 #include <utility>
 
+#include "common/logging.hh"
+
 namespace pimphony {
 namespace sim {
 
+namespace {
+
+/**
+ * Recursive chain: stage s's completion event submits stage s+1.
+ * Deferring each submission to the predecessor's completion keeps
+ * per-stage FIFO order consistent with event order, so work queues at
+ * a busy stage instead of reserving it in advance. @p first_stage_done
+ * (optional) fires at stage 0's completion, which is the hand-off
+ * point sequence submission uses to launch the next element.
+ */
 void
-StagePipeline::submitCycle(EventQueue &queue, const WorkItem &base,
-                           double ready, std::function<void(double)> done)
+chainStages(std::vector<Device *> &stages, EventQueue &queue,
+            std::vector<WorkItem> items, double ready,
+            std::function<void(double)> first_stage_done,
+            std::function<void(double)> done)
 {
-    // Recursive chain: stage s's completion event submits stage s+1.
-    // Deferring each submission to the predecessor's completion keeps
-    // per-stage FIFO order consistent with event order, so cohorts
-    // queue at a busy stage instead of reserving it in advance.
     using Advance = std::function<void(unsigned, double)>;
     auto advance = std::make_shared<Advance>();
     // The stored function holds only a weak reference to itself; the
     // in-flight completion callbacks hold the strong one, so the
     // chain frees itself after the last stage completes.
     std::weak_ptr<Advance> weak = advance;
-    *advance = [this, &queue, base, done = std::move(done),
-                weak](unsigned s, double at) {
+    auto held = std::make_shared<std::vector<WorkItem>>(std::move(items));
+    *advance = [&stages, &queue, held, first = std::move(first_stage_done),
+                done = std::move(done), weak](unsigned s, double at) {
         auto self = weak.lock();
-        WorkItem item = base;
+        WorkItem item = (*held)[s];
         item.stage = s;
-        bool last = (s + 1 == stages_.size());
-        stages_[s]->submit(queue, item, at,
-                           [self, s, last, done](double completion) {
-                               if (!last)
-                                   (*self)(s + 1, completion);
-                               else if (done)
-                                   done(completion);
-                           });
+        bool last = (s + 1 == stages.size());
+        stages[s]->submit(queue, item, at,
+                          [self, s, last, first, done](double completion) {
+                              if (s == 0 && first)
+                                  first(completion);
+                              if (!last)
+                                  (*self)(s + 1, completion);
+                              else if (done)
+                                  done(completion);
+                          });
     };
     (*advance)(0, ready);
+}
+
+} // namespace
+
+void
+StagePipeline::submitCycle(EventQueue &queue, const WorkItem &base,
+                           double ready, std::function<void(double)> done)
+{
+    std::vector<WorkItem> items(stages_.size(), base);
+    submitChain(queue, std::move(items), ready, std::move(done));
+}
+
+void
+StagePipeline::submitChain(EventQueue &queue,
+                           std::vector<WorkItem> stage_items, double ready,
+                           std::function<void(double)> done)
+{
+    if (stage_items.size() != stages_.size())
+        panic("submitChain with %zu items for %zu stages",
+              stage_items.size(), stages_.size());
+    chainStages(stages_, queue, std::move(stage_items), ready, nullptr,
+                std::move(done));
+}
+
+void
+StagePipeline::submitSequence(EventQueue &queue,
+                              std::vector<std::vector<WorkItem>> elements,
+                              double ready,
+                              std::function<void(double)> done)
+{
+    if (elements.empty()) {
+        if (done)
+            queue.schedule(ready, std::move(done));
+        return;
+    }
+    struct State
+    {
+        std::vector<std::vector<WorkItem>> elements;
+        std::function<void(double)> done;
+    };
+    auto st = std::make_shared<State>();
+    st->elements = std::move(elements);
+    st->done = std::move(done);
+
+    using Launch = std::function<void(std::size_t, double)>;
+    auto launch = std::make_shared<Launch>();
+    std::weak_ptr<Launch> weak = launch;
+    *launch = [this, &queue, st, weak](std::size_t e, double at) {
+        auto self = weak.lock();
+        if (st->elements[e].size() != stages_.size())
+            panic("submitSequence element %zu has %zu items for %zu "
+                  "stages",
+                  e, st->elements[e].size(), stages_.size());
+        bool last = (e + 1 == st->elements.size());
+        // Launching element e+1 at e's *stage-0* completion (not the
+        // chain end) pipelines elements across stages while leaving a
+        // FIFO gap other submitters can slot into between elements.
+        chainStages(stages_, queue, std::move(st->elements[e]), at,
+                    last ? std::function<void(double)>(nullptr)
+                         : [self, e](double t) { (*self)(e + 1, t); },
+                    last ? st->done : nullptr);
+    };
+    (*launch)(0, ready);
 }
 
 } // namespace sim

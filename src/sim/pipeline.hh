@@ -8,6 +8,13 @@
  * to s+1 happens at s's completion event, so cohort m+1 enters stage
  * s while cohort m occupies s+1 — the pipeline overlap the analytic
  * step model flattens into stageBeats * max_stage_sec.
+ *
+ * Prefill chunks use the same traversal: submitSequence() runs an
+ * ordered list of elements (one per chunk) through the stages with
+ * chunk k+1 entering stage 0 at chunk k's stage-0 completion, so at
+ * most one chunk per request queues at any stage and decode work
+ * submitted in between interleaves with the chunk stream in FIFO
+ * order.
  */
 
 #ifndef PIMPHONY_SIM_PIPELINE_HH
@@ -48,6 +55,27 @@ class StagePipeline
      */
     void submitCycle(EventQueue &queue, const WorkItem &base,
                      double ready, std::function<void(double)> done);
+
+    /**
+     * Submit one traversal with heterogeneous per-stage items:
+     * @p stage_items[s] runs on stage s (stage indexes are stamped
+     * here). Size must equal stageCount(). Used for uneven layer
+     * splits, where the last stage owns the layer remainder.
+     */
+    void submitChain(EventQueue &queue, std::vector<WorkItem> stage_items,
+                     double ready, std::function<void(double)> done);
+
+    /**
+     * Submit an ordered sequence of traversals (e.g. one request's
+     * prefill chunks): element e+1 enters stage 0 at element e's
+     * stage-0 completion, so elements pipeline across stages while
+     * later submitters can interleave between them in FIFO order.
+     * @p done fires at the last element's last-stage completion.
+     * Empty sequences complete immediately at @p ready.
+     */
+    void submitSequence(EventQueue &queue,
+                        std::vector<std::vector<WorkItem>> elements,
+                        double ready, std::function<void(double)> done);
 
   private:
     std::vector<Device *> stages_;

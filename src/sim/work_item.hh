@@ -1,8 +1,10 @@
 /**
  * @file
- * Unit of scheduled work in the event-driven serving core: one
- * cohort's (micro-batch's) occupancy of one pipeline stage for one
- * decode cycle.
+ * Unit of scheduled work in the event-driven serving core. Two kinds
+ * of work flow through the same stage devices: one cohort's
+ * (micro-batch's) occupancy of one pipeline stage for one decode
+ * cycle, and one request's prefill chunk crossing the same stage's
+ * compute (xPU) timeline.
  */
 
 #ifndef PIMPHONY_SIM_WORK_ITEM_HH
@@ -15,8 +17,24 @@ namespace sim {
 
 struct WorkItem
 {
-    /** Cohort (micro-batch) the work belongs to. */
+    enum class Kind : std::uint8_t {
+        /** One cohort decode cycle on the stage's serializing device. */
+        DecodeCycle,
+
+        /** One prefill chunk on the stage's compute (xPU) timeline. */
+        PrefillChunk,
+    };
+
+    Kind kind = Kind::DecodeCycle;
+
+    /** Cohort (micro-batch) the decode work belongs to. */
     std::uint32_t cohort = 0;
+
+    /** Request a prefill chunk belongs to (kind == PrefillChunk). */
+    std::uint32_t request = 0;
+
+    /** Chunk index within the request's prefill sequence. */
+    std::uint32_t chunk = 0;
 
     /** Pipeline stage index the item occupies. */
     unsigned stage = 0;
@@ -29,9 +47,10 @@ struct WorkItem
 
     /**
      * FC share of the service time, executed on the stage's xPU
-     * timeline when one exists (heterogeneous xPU+PIM systems). The
-     * xPU share never exceeds @ref seconds, so it shadows the
-     * serializing PIM timeline without gating it.
+     * timeline when one exists (heterogeneous xPU+PIM systems). With
+     * an idle xPU the share never exceeds @ref seconds and shadows
+     * the serializing PIM timeline; when prefill chunks congest the
+     * xPU, the FC share completes late and gates the stage instead.
      */
     double fcSeconds = 0.0;
 };

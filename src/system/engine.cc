@@ -75,7 +75,7 @@ ServingEngine::tryAdmitOne(const TimedRequest &timed, double &prefill_sec)
         return AdmitOutcome::Blocked;
     if (!allocator_->tryAdmit(front.id, front.contextTokens))
         return AdmitOutcome::Blocked;
-    if (options_.chargePrefill) {
+    if (options_.chargePrefill || options_.prefillChunkTokens > 0) {
         prefill_sec = prefillSeconds(model_, front.contextTokens,
                                      cluster_.xpu,
                                      cluster_.prefillEngines());
@@ -99,6 +99,16 @@ ServingEngine::advanceMember(Active &a, double completion_clock,
     }
     ++a.generated;
     ++result_.generatedTokens;
+    if (a.generated == 1) {
+        double ttft = completion_clock - a.arrival;
+        // First admission wins: a preempted-and-recomputed request
+        // keeps the TTFT of its first emitted token.
+        if (result_.firstTokenLatency.emplace(a.request.id, ttft).second)
+            firstTokenLatencies_.push_back(ttft);
+    } else if (a.lastTokenAt >= 0.0) {
+        tokenGaps_.push_back(completion_clock - a.lastTokenAt);
+    }
+    a.lastTokenAt = completion_clock;
     if (a.generated >= a.request.decodeTokens) {
         allocator_->release(a.request.id);
         ++result_.completedRequests;
@@ -134,7 +144,9 @@ ServingEngine::planCohortCycle(const Active *begin, const Active *end)
     const unsigned pp = cluster_.plan.pp;
     const std::uint32_t batch =
         static_cast<std::uint32_t>(end - begin);
-    const unsigned layers_per_stage = std::max(1u, model_.nLayers / pp);
+    // Uneven layer split: the last stage absorbs the remainder and
+    // is the slowest (stageLayers), so it sets the analytic beat.
+    const unsigned last_layers = stageLayers(model_.nLayers, pp, pp - 1);
     const unsigned kvh = model_.kvHeads();
     const unsigned jobs_per_req = std::max(1u, ceilDiv(kvh, tp));
     // When the TP group outnumbers the KV heads, the modules sharing
@@ -180,13 +192,14 @@ ServingEngine::planCohortCycle(const Active *begin, const Active *end)
         : std::max(att.seconds, fc_sec) + sync;
 
     CyclePlan plan;
-    plan.stageSeconds = layers_per_stage * layer_sec;
-    plan.fcStageSeconds = cluster_.kind == SystemKind::XpuPim
-        ? layers_per_stage * fc_sec
-        : 0.0;
+    plan.layerSeconds = layer_sec;
+    plan.fcLayerSeconds =
+        cluster_.kind == SystemKind::XpuPim ? fc_sec : 0.0;
+    plan.maxStageSeconds = last_layers * layer_sec;
 
     // Per full cycle the cohort crosses all pp stages.
-    double layers_total = static_cast<double>(layers_per_stage) * pp;
+    double layers_total = stageLayersTotal(model_.nLayers, pp);
+    plan.layersTotal = layers_total;
     plan.attSeconds = att.seconds * layers_total;
     plan.fcSeconds = fc_sec * layers_total;
     plan.busyChannelCycles =
@@ -253,7 +266,7 @@ ServingEngine::stepSeconds(std::vector<double> &busy_acc,
             continue;
         CyclePlan plan = planCohortCycle(active_.data() + lo,
                                          active_.data() + hi);
-        max_stage_sec = std::max(max_stage_sec, plan.stageSeconds);
+        max_stage_sec = std::max(max_stage_sec, plan.maxStageSeconds);
         step_att_sec += plan.attSeconds;
         step_fc_sec += plan.fcSeconds;
         step_busy += plan.busyChannelCycles;
@@ -358,13 +371,15 @@ EngineResult
 ServingEngine::runEventDriven()
 {
     const unsigned pp = cluster_.plan.pp;
+    const unsigned tp = cluster_.plan.tp;
     const double spc = cluster_.module.timing.secondsPerCycle();
+    const bool chunked = options_.prefillChunkTokens > 0;
 
     sim::EventQueue queue;
-    StageDeviceSet stages(pp, *module_,
-                          cluster_.kind == SystemKind::XpuPim
-                              ? xpu_.get()
-                              : nullptr);
+    // Every stage carries an xPU timeline: in XpuPim mode it serves
+    // decode FC shares and prefill chunks; in PimOnly mode only the
+    // prefill chunks (the PNM compute engines) land there.
+    StageDeviceSet stages(pp, *module_, xpu_.get());
 
     struct Cohort
     {
@@ -382,6 +397,7 @@ ServingEngine::runEventDriven()
     std::list<Cohort> cohorts; // in flight; list keeps addresses stable
     std::deque<TimedRequest> arrived;
     std::vector<Active> ready_pool; // admitted, waiting for a cohort
+    std::uint64_t prefilling = 0;   // admitted, prefill chunks in flight
     std::uint32_t next_cohort_id = 0;
     std::uint64_t cycles = 0;
     bool capped = false;
@@ -410,50 +426,106 @@ ServingEngine::runEventDriven()
         end_time = std::max(end_time, t);
     };
 
-    // When prefill is charged, admissions serialize behind this
-    // clock and cohorts start no earlier than it — the event-path
-    // analogue of the analytic path bumping the global clock.
+    // When prefill is charged as a scalar (chargePrefill without
+    // chunking), admissions serialize behind this clock and cohorts
+    // start no earlier than it — the event-path analogue of the
+    // analytic path bumping the global clock.
     double prefill_ready = 0.0;
-
-    // Admission under the same per-request rules as the analytic
-    // path (tryAdmitOne); admitted requests append to @p out.
-    auto tryAdmitInto = [&](std::vector<Active> &out, double now) {
-        while (!arrived.empty()) {
-            const TimedRequest &timed = arrived.front();
-            double prefill_sec = 0.0;
-            AdmitOutcome outcome = tryAdmitOne(timed, prefill_sec);
-            if (outcome == AdmitOutcome::Blocked)
-                break;
-            if (outcome == AdmitOutcome::Admitted) {
-                prefill_ready =
-                    std::max(prefill_ready, now) + prefill_sec;
-                out.push_back({timed.request, 0,
-                               timed.arrivalSeconds});
-            }
-            arrived.pop_front();
-        }
-    };
 
     std::function<void(Cohort &, double)> startCycle;
     std::function<void(Cohort &, double)> onCycleComplete;
     std::function<void(double)> formNewCohorts;
+    std::function<void(Active, double)> startPrefill;
+
+    // Chunked prefill: the admitted request enters a Prefilling
+    // state (memory held, not decoding) while its chunks traverse
+    // the per-stage xPU timelines; it joins the decode ready pool at
+    // the last chunk's last-stage completion. Per-chunk seconds
+    // apportion the scalar charge tryAdmitOne already accounted, so
+    // chunked and scalar prefill cost the same total device time.
+    startPrefill = [&](Active a, double now) {
+        auto chunk_secs = prefillChunkSeconds(
+            model_, a.request.contextTokens, options_.prefillChunkTokens,
+            cluster_.xpu, cluster_.prefillEngines());
+        if (chunk_secs.empty()) {
+            ready_pool.push_back(std::move(a));
+            return;
+        }
+        // prefillSeconds() spreads the work over prefillEngines();
+        // a stage owns tp of them for stageLayers/nLayers of the
+        // model, so scale per-stage occupancy to keep each request's
+        // per-stage total at scalar * engines / (tp * pp-equivalent).
+        double engine_scale =
+            static_cast<double>(cluster_.prefillEngines()) / tp;
+        double layers_total = stageLayersTotal(model_.nLayers, pp);
+        std::vector<std::vector<sim::WorkItem>> seq;
+        seq.reserve(chunk_secs.size());
+        for (std::size_t k = 0; k < chunk_secs.size(); ++k) {
+            std::vector<sim::WorkItem> row(pp);
+            for (unsigned s = 0; s < pp; ++s) {
+                row[s].kind = sim::WorkItem::Kind::PrefillChunk;
+                row[s].request = a.request.id;
+                row[s].chunk = static_cast<std::uint32_t>(k);
+                row[s].seconds = chunk_secs[k] * engine_scale *
+                                 stageLayers(model_.nLayers, pp, s) /
+                                 layers_total;
+            }
+            seq.push_back(std::move(row));
+        }
+        ++prefilling;
+        auto holder = std::make_shared<Active>(std::move(a));
+        stages.pipeline().submitSequence(
+            queue, std::move(seq), now, [&, holder](double t) {
+                --prefilling;
+                accountTo(t);
+                ready_pool.push_back(std::move(*holder));
+                formNewCohorts(t);
+            });
+    };
+
+    // Admission under the same per-request rules as the analytic
+    // path (tryAdmitOne); admitted requests reach the ready pool
+    // once decode-ready (immediately, or after prefill chunks).
+    auto admitArrivals = [&](double now) {
+        while (!arrived.empty()) {
+            TimedRequest timed = arrived.front();
+            double prefill_sec = 0.0;
+            AdmitOutcome outcome = tryAdmitOne(timed, prefill_sec);
+            if (outcome == AdmitOutcome::Blocked)
+                break;
+            arrived.pop_front();
+            if (outcome != AdmitOutcome::Admitted)
+                continue;
+            Active a{timed.request, 0, timed.arrivalSeconds, -1.0};
+            if (chunked) {
+                startPrefill(std::move(a), now);
+            } else {
+                prefill_ready =
+                    std::max(prefill_ready, now) + prefill_sec;
+                ready_pool.push_back(std::move(a));
+            }
+        }
+    };
 
     startCycle = [&](Cohort &c, double ready) {
         CyclePlan plan = planCohortCycle(
             c.members.data(), c.members.data() + c.members.size());
-        double span_cycles = plan.stageSeconds * pp / spc *
-                             cluster_.module.nChannels *
-                             cluster_.plan.tp;
+        double span_cycles = plan.layerSeconds * plan.layersTotal /
+                             spc * cluster_.module.nChannels * tp;
         accountCycle(plan, span_cycles, busy_acc, span_acc);
 
-        sim::WorkItem item;
-        item.cohort = c.id;
-        item.cycle = c.cycle++;
-        item.seconds = plan.stageSeconds;
-        item.fcSeconds = plan.fcStageSeconds;
+        std::vector<sim::WorkItem> items(pp);
+        for (unsigned s = 0; s < pp; ++s) {
+            unsigned layers = stageLayers(model_.nLayers, pp, s);
+            items[s].cohort = c.id;
+            items[s].cycle = c.cycle;
+            items[s].seconds = plan.layerSeconds * layers;
+            items[s].fcSeconds = plan.fcLayerSeconds * layers;
+        }
+        ++c.cycle;
         Cohort *cohort = &c;
-        stages.pipeline().submitCycle(
-            queue, item, ready,
+        stages.pipeline().submitChain(
+            queue, std::move(items), ready,
             [&onCycleComplete, cohort](double t) {
                 onCycleComplete(*cohort, t);
             });
@@ -483,7 +555,7 @@ ServingEngine::runEventDriven()
         // model's per-step re-split does, while leaving the other
         // cohorts' in-flight cycles untouched.
         if (!capped) {
-            tryAdmitInto(ready_pool, t);
+            admitArrivals(t);
             ready_pool.insert(ready_pool.begin(),
                               std::make_move_iterator(c.members.begin()),
                               std::make_move_iterator(c.members.end()));
@@ -518,13 +590,14 @@ ServingEngine::runEventDriven()
                 return;
             if (cohorts.size() >= pp)
                 return; // pipeline slots full; rebalance at cycle ends
-            tryAdmitInto(ready_pool, t);
+            admitArrivals(t);
             if (ready_pool.empty()) {
-                // Deadlock guard: nothing in flight, nothing
-                // admissible, and no event can change that -> the
-                // front request can never be served; reject it.
-                if (cohorts.empty() && queue.empty() &&
-                    !arrived.empty()) {
+                // Deadlock guard: nothing in flight (decoding or
+                // prefilling), nothing admissible, and no event can
+                // change that -> the front request can never be
+                // served; reject it.
+                if (cohorts.empty() && prefilling == 0 &&
+                    queue.empty() && !arrived.empty()) {
                     ++result_.rejectedRequests;
                     arrived.pop_front();
                     continue;
@@ -606,16 +679,23 @@ ServingEngine::finalizeResult(const std::vector<double> &busy_acc,
         span += s;
     result_.macUtilization = safeRatio(busy, span);
 
-    if (!latencies_.empty()) {
-        std::sort(latencies_.begin(), latencies_.end());
+    auto summarize = [](std::vector<double> &samples, double &avg,
+                        double &p95) {
+        if (samples.empty())
+            return;
+        std::sort(samples.begin(), samples.end());
         double sum = 0.0;
-        for (double l : latencies_)
-            sum += l;
-        result_.avgRequestLatency =
-            sum / static_cast<double>(latencies_.size());
-        result_.p95RequestLatency =
-            nearestRankPercentile(latencies_, 95.0);
-    }
+        for (double s : samples)
+            sum += s;
+        avg = sum / static_cast<double>(samples.size());
+        p95 = nearestRankPercentile(samples, 95.0);
+    };
+    summarize(latencies_, result_.avgRequestLatency,
+              result_.p95RequestLatency);
+    summarize(firstTokenLatencies_, result_.avgFirstTokenSeconds,
+              result_.p95FirstTokenSeconds);
+    summarize(tokenGaps_, result_.avgTokenGapSeconds,
+              result_.p95TokenGapSeconds);
 }
 
 EngineResult

@@ -14,10 +14,19 @@
  * (single-cohort) configurations, where the pipeline recurrence
  * degenerates to the closed form.
  *
- * Scope note: the evaluation targets the decoding phase, where the
- * paper locates the PIM bottlenecks; prefill is charged to memory on
- * admission but not to time (all compared systems would pay the same
- * prefill on their compute engines).
+ * Scope note: decode remains the focus (the paper locates the PIM
+ * bottlenecks there), but prefill is now first-class work rather
+ * than a free memory charge. Under the event-driven model with
+ * EngineOptions::prefillChunkTokens > 0, an admitted request enters
+ * a Prefilling state: its context is split into chunked work items
+ * (system/prefill's planner) that traverse the per-stage xPU
+ * timelines on the event queue, interleaving FIFO with — and
+ * delaying — decode FC work, the way a continuous-batching
+ * scheduler shares its compute engines between phases. The request
+ * joins the decode ready pool only when its last chunk completes.
+ * The analytic model (and chargePrefill without chunking) keeps the
+ * scalar prefillSeconds() charge at admission for parity; the
+ * chunked per-request total matches that scalar exactly.
  */
 
 #ifndef PIMPHONY_SYSTEM_ENGINE_HH
@@ -62,6 +71,18 @@ struct EngineOptions
      * reports decode throughput).
      */
     bool chargePrefill = false;
+
+    /**
+     * Context tokens per prefill chunk. When > 0 under the
+     * event-driven model, admitted requests prefill as chunked work
+     * items on the xPU stage timelines (continuous prefill/decode
+     * batching) instead of a scalar time charge; smaller chunks
+     * interleave more finely with decode at the cost of more
+     * hand-offs. Under the analytic model a positive value falls
+     * back to the scalar charge (chargePrefill semantics) so the two
+     * models stay comparable. 0 disables chunking.
+     */
+    Tokens prefillChunkTokens = 0;
 };
 
 struct EngineResult
@@ -94,6 +115,21 @@ struct EngineResult
     /** Request latency (completion - arrival), open- or closed-loop. */
     double avgRequestLatency = 0.0;
     double p95RequestLatency = 0.0;
+
+    /** Time to first token (first decode completion - arrival). */
+    double avgFirstTokenSeconds = 0.0;
+    double p95FirstTokenSeconds = 0.0;
+
+    /**
+     * Steady-state decode stall: gaps between consecutive token
+     * completions of one request (tokens after its first). Prefill
+     * chunks sharing the xPU stretch the tail of this distribution.
+     */
+    double avgTokenGapSeconds = 0.0;
+    double p95TokenGapSeconds = 0.0;
+
+    /** Per-request TTFT, keyed by request id (first admission). */
+    std::unordered_map<RequestId, double> firstTokenLatency;
 };
 
 class ServingEngine
@@ -117,6 +153,9 @@ class ServingEngine
         Request request;
         Tokens generated = 0;
         double arrival = 0.0;
+
+        /** Completion time of the latest token (< 0: none yet). */
+        double lastTokenAt = -1.0;
     };
 
     /**
@@ -128,11 +167,21 @@ class ServingEngine
      */
     struct CyclePlan
     {
-        /** Service seconds of one PP stage (uniform stages). */
-        double stageSeconds = 0.0;
+        /** Service seconds of one model layer. */
+        double layerSeconds = 0.0;
 
-        /** xPU share of one stage's service (XpuPim overlap). */
-        double fcStageSeconds = 0.0;
+        /** xPU share of one layer's service (XpuPim overlap). */
+        double fcLayerSeconds = 0.0;
+
+        /**
+         * Service seconds of the slowest PP stage (the last stage
+         * when the layer count does not divide evenly): the beat
+         * length the analytic model charges per stage slot.
+         */
+        double maxStageSeconds = 0.0;
+
+        /** Layers across all stages (= nLayers when pp <= nLayers). */
+        double layersTotal = 0.0;
 
         /** Whole-cycle (all layers, all stages) phase seconds. */
         double attSeconds = 0.0;
@@ -151,8 +200,10 @@ class ServingEngine
     /**
      * Per-request admission rule shared by both step models:
      * Rejected = can never be served here, Blocked = waits for
-     * memory, Admitted = reserved (with @p prefill_sec the prefill
-     * charge when EngineOptions::chargePrefill is on).
+     * memory, Admitted = reserved (with @p prefill_sec the scalar
+     * prefill charge when chargePrefill or prefillChunkTokens is
+     * set; the chunked event path apportions it over chunk items
+     * instead of spending it as a lump).
      */
     enum class AdmitOutcome { Admitted, Rejected, Blocked };
     AdmitOutcome tryAdmitOne(const TimedRequest &timed,
@@ -198,6 +249,8 @@ class ServingEngine
     std::unique_ptr<PimModuleModel> module_;
     std::unique_ptr<XpuModel> xpu_;
     std::vector<double> latencies_;
+    std::vector<double> firstTokenLatencies_;
+    std::vector<double> tokenGaps_;
     EngineResult result_;
 };
 

@@ -8,10 +8,20 @@
  * CENT-like system prefillls on its PNM (slow -- one of the reasons
  * PIM-only systems assume prefill elsewhere), the NeuPIMs-like system
  * on its NPUs, the GPU baseline on the GPUs.
+ *
+ * The chunk planner splits one request's prefill into fixed-size
+ * token chunks for the event-driven engine: each chunk becomes a
+ * pipeline work item on the xPU stage timelines, and the causal
+ * attention term makes later chunks (which attend to everything
+ * before them) more expensive. Per-chunk seconds apportion the
+ * scalar prefillSeconds() charge by chunk FLOPs, so the chunked total
+ * matches the unchunked charge exactly.
  */
 
 #ifndef PIMPHONY_SYSTEM_PREFILL_HH
 #define PIMPHONY_SYSTEM_PREFILL_HH
+
+#include <vector>
 
 #include "model/llm.hh"
 #include "system/xpu.hh"
@@ -28,6 +38,43 @@ double prefillFlops(const LlmConfig &model, Tokens tokens);
  */
 double prefillSeconds(const LlmConfig &model, Tokens tokens,
                       const XpuConfig &config, unsigned n_engines);
+
+/** One chunk of a request's prefill. */
+struct PrefillChunk
+{
+    /** Offset of the chunk's first context token. */
+    Tokens firstToken = 0;
+
+    /** Context tokens processed by this chunk. */
+    Tokens tokens = 0;
+
+    /**
+     * FLOPs of this chunk: its share of the linear stack plus the
+     * causal attention over every token before and inside it. Sums
+     * to prefillFlops() across a request's chunks.
+     */
+    double flops = 0.0;
+};
+
+/**
+ * Split @p tokens of context into chunks of at most @p chunk_tokens
+ * (the last chunk takes the remainder; chunk_tokens == 0 means one
+ * chunk). Returns an empty plan for an empty context.
+ */
+std::vector<PrefillChunk> prefillChunks(const LlmConfig &model,
+                                        Tokens tokens,
+                                        Tokens chunk_tokens);
+
+/**
+ * Per-chunk seconds for the plan prefillChunks() produces:
+ * prefillSeconds(model, tokens, config, n_engines) apportioned by
+ * chunk FLOPs, so the values sum exactly to the scalar charge.
+ */
+std::vector<double> prefillChunkSeconds(const LlmConfig &model,
+                                        Tokens tokens,
+                                        Tokens chunk_tokens,
+                                        const XpuConfig &config,
+                                        unsigned n_engines);
 
 } // namespace pimphony
 

@@ -16,15 +16,30 @@ double
 PipelineStage::submit(sim::EventQueue &queue, const sim::WorkItem &item,
                       double ready, CompletionFn done)
 {
-    double completion = pim_.submit(queue, item, ready, std::move(done));
+    if (item.kind == sim::WorkItem::Kind::PrefillChunk) {
+        // Prefill chunks occupy the stage's compute timeline (the
+        // xPU when one exists, else the serializing device), queueing
+        // FIFO with decode FC shares submitted around them.
+        sim::Device &dev =
+            xpu_ ? static_cast<sim::Device &>(*xpu_) : pim_;
+        return dev.submit(queue, item, ready, std::move(done));
+    }
+
+    double start = std::max(ready, pim_.busyUntil());
+    sim::WorkItem main = item;
     if (xpu_ && item.fcSeconds > 0.0) {
         sim::WorkItem fc = item;
         fc.seconds = std::min(item.fcSeconds, item.seconds);
         fc.fcSeconds = 0.0;
-        // Shadow submission: starts when the composite item does.
-        xpu_->submit(queue, fc, completion - item.seconds);
+        // The FC share queues on the xPU timeline from the moment
+        // the composite item starts. With an idle xPU it shadows the
+        // serializing timeline (fc <= seconds); behind queued prefill
+        // chunks it completes late and gates the stage instead.
+        double fc_done = xpu_->submit(queue, fc, start);
+        if (fc_done > start + item.seconds)
+            main.seconds = fc_done - start;
     }
-    return completion;
+    return pim_.submit(queue, main, ready, std::move(done));
 }
 
 StageDeviceSet::StageDeviceSet(unsigned pp, PimModuleModel &pim,

@@ -8,7 +8,10 @@
  * there), and in xPU+PIM systems an xPU timeline shadows the FC
  * share of each work item — FC of one cohort overlaps PIM attention
  * of the same (and, across stages, other) cohorts, which is the
- * overlap NeuPIMs-like systems are built around.
+ * overlap NeuPIMs-like systems are built around. The same xPU
+ * timeline serves prefill chunks in FIFO order with the decode FC
+ * shares, which is where prefill/decode interference appears in the
+ * simulation.
  */
 
 #ifndef PIMPHONY_SYSTEM_STAGE_DEVICE_HH
@@ -56,10 +59,15 @@ class XpuStageDevice : public sim::Device
 };
 
 /**
- * One PP stage: serializes cohorts on the PIM timeline and, when an
- * xPU timeline is attached, shadows each item's FC share there. The
- * FC share never exceeds the item's total service time, so the xPU
- * timeline trails the PIM one and never gates the pipeline.
+ * One PP stage: serializes decode cohorts on the PIM timeline and,
+ * when an xPU timeline is attached, runs each item's FC share there
+ * in FIFO order with prefill chunks. With an idle xPU the FC share
+ * (never larger than the item's total service time) trails the PIM
+ * timeline as a pure shadow; when prefill chunks congest the xPU the
+ * FC share completes late and the decode item is extended to cover
+ * the stall, so prefill delays decode exactly as a shared compute
+ * engine would. PrefillChunk items route to the xPU timeline (or the
+ * PIM timeline when the stage has none).
  */
 class PipelineStage : public sim::Device
 {

@@ -27,6 +27,71 @@ poissonArrivals(const std::vector<Request> &requests,
     return out;
 }
 
+std::vector<TimedRequest>
+gammaArrivals(const std::vector<Request> &requests, double rate_per_second,
+              double cv, std::uint64_t seed)
+{
+    if (rate_per_second <= 0.0)
+        fatal("arrival rate must be positive");
+    if (cv <= 0.0)
+        fatal("arrival CV must be positive");
+    // Gamma(k, theta): mean = k * theta = 1 / rate, CV = 1 / sqrt(k).
+    double shape = 1.0 / (cv * cv);
+    double scale = cv * cv / rate_per_second;
+    Rng rng(seed);
+    std::gamma_distribution<double> gap(shape, scale);
+    std::vector<TimedRequest> out;
+    out.reserve(requests.size());
+    double t = 0.0;
+    for (const auto &r : requests) {
+        t += gap(rng.engine());
+        out.push_back({r, t});
+    }
+    return out;
+}
+
+std::vector<TimedRequest>
+onOffArrivals(const std::vector<Request> &requests,
+              const OnOffTraffic &traffic, std::uint64_t seed)
+{
+    if (traffic.onRate <= 0.0 && traffic.offRate <= 0.0)
+        fatal("on/off arrivals need a positive rate in some state");
+    if (traffic.meanOnSeconds <= 0.0 || traffic.meanOffSeconds <= 0.0)
+        fatal("on/off sojourn times must be positive");
+    Rng rng(seed);
+    auto expDraw = [&rng](double mean) {
+        double u = rng.uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        return -std::log(u) * mean;
+    };
+    std::vector<TimedRequest> out;
+    out.reserve(requests.size());
+    double t = 0.0;
+    bool on = true;
+    double state_end = expDraw(traffic.meanOnSeconds);
+    for (const auto &r : requests) {
+        for (;;) {
+            double rate = on ? traffic.onRate : traffic.offRate;
+            // Memoryless in both dimensions: redrawing the arrival
+            // gap after a state flip preserves the MMPP statistics.
+            if (rate > 0.0) {
+                double next = t + expDraw(1.0 / rate);
+                if (next <= state_end) {
+                    t = next;
+                    break;
+                }
+            }
+            t = state_end;
+            on = !on;
+            state_end = t + expDraw(on ? traffic.meanOnSeconds
+                                       : traffic.meanOffSeconds);
+        }
+        out.push_back({r, t});
+    }
+    return out;
+}
+
 void
 sortByArrival(std::vector<TimedRequest> &requests)
 {

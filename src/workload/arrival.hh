@@ -34,6 +34,45 @@ std::vector<TimedRequest> poissonArrivals(const std::vector<Request> &requests,
                                           double rate_per_second,
                                           std::uint64_t seed);
 
+/**
+ * Bursty open-loop arrivals: gamma inter-arrival times with mean
+ * 1 / @p rate_per_second and coefficient of variation @p cv.
+ * cv == 1 recovers the Poisson process; cv > 1 clusters arrivals
+ * (heavier bursts than Poisson); cv < 1 smooths them. Deterministic
+ * per seed.
+ */
+std::vector<TimedRequest> gammaArrivals(const std::vector<Request> &requests,
+                                        double rate_per_second, double cv,
+                                        std::uint64_t seed);
+
+/**
+ * Two-state on/off (MMPP-like) burst process: the source alternates
+ * between an ON state emitting Poisson arrivals at @ref onRate and
+ * an OFF state at @ref offRate (0 = silent), with exponentially
+ * distributed state sojourn times. Long-run average rate is
+ * (onRate * meanOnSeconds + offRate * meanOffSeconds) /
+ * (meanOnSeconds + meanOffSeconds).
+ */
+struct OnOffTraffic
+{
+    /** Arrival rate while ON (requests / second). */
+    double onRate = 10.0;
+
+    /** Arrival rate while OFF (0 = completely silent). */
+    double offRate = 0.0;
+
+    /** Mean sojourn seconds in the ON state. */
+    double meanOnSeconds = 1.0;
+
+    /** Mean sojourn seconds in the OFF state. */
+    double meanOffSeconds = 1.0;
+};
+
+/** Attach on/off burst arrivals; deterministic per seed. */
+std::vector<TimedRequest> onOffArrivals(const std::vector<Request> &requests,
+                                        const OnOffTraffic &traffic,
+                                        std::uint64_t seed);
+
 /** All requests available at time zero (closed-loop). */
 std::vector<TimedRequest>
 immediateArrivals(const std::vector<Request> &requests);

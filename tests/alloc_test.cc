@@ -126,6 +126,81 @@ TEST(LazyAllocator, Va2PaBytesTrackChunks)
     EXPECT_EQ(a.va2paBytes(), 32u * 8u);
 }
 
+TEST(LazyAllocator, GrowExactlyAtChunkBoundary)
+{
+    LazyChunkAllocator a(64_GiB, kBpt, kTmax, 1_MiB);
+    ASSERT_TRUE(a.tryAdmit(0, 2)); // 1 MiB: exactly one chunk
+    EXPECT_EQ(a.chunksInUse(), 1u);
+    EXPECT_EQ(a.reservedBytes(), a.usedBytes()); // zero fragmentation
+    // Growing to exactly the next boundary adds exactly one chunk...
+    EXPECT_TRUE(a.grow(0, 4)); // 2 MiB
+    EXPECT_EQ(a.chunksInUse(), 2u);
+    EXPECT_EQ(a.reservedBytes(), a.usedBytes());
+    // ...and one byte past it would need a third.
+    EXPECT_TRUE(a.grow(0, 5)); // 2.5 MiB
+    EXPECT_EQ(a.chunksInUse(), 3u);
+    EXPECT_EQ(a.reservedBytes() - a.usedBytes(), 512u * 1024u);
+}
+
+TEST(LazyAllocator, ReleaseThenReadmitAccounting)
+{
+    LazyChunkAllocator a(4_MiB, kBpt, kTmax, 1_MiB);
+    ASSERT_TRUE(a.tryAdmit(0, 4)); // 2 chunks
+    ASSERT_TRUE(a.tryAdmit(1, 4)); // 2 chunks; full
+    EXPECT_EQ(a.chunksInUse(), 4u);
+    EXPECT_FALSE(a.tryAdmit(2, 1));
+    std::uint64_t host = a.hostInterventions();
+
+    a.release(0);
+    EXPECT_EQ(a.chunksInUse(), 2u);
+    EXPECT_EQ(a.usedBytes(), kBpt * 4);
+    EXPECT_EQ(a.hostInterventions(), host + 1);
+
+    // The same id can re-enter (preemption-recompute path) and the
+    // books balance back to full occupancy.
+    ASSERT_TRUE(a.tryAdmit(0, 3)); // 1.5 MiB -> 2 chunks
+    EXPECT_EQ(a.chunksInUse(), 4u);
+    EXPECT_EQ(a.usedBytes(), kBpt * 7);
+    EXPECT_EQ(a.hostInterventions(), host + 2);
+    a.release(0);
+    a.release(1);
+    EXPECT_EQ(a.chunksInUse(), 0u);
+    EXPECT_EQ(a.usedBytes(), 0u);
+    EXPECT_EQ(a.reservedBytes(), 0u);
+}
+
+TEST(LazyAllocator, Va2PaBytesTrackChunksInUseThroughout)
+{
+    LazyChunkAllocator a(64_GiB, kBpt, kTmax, 1_MiB);
+    EXPECT_EQ(a.va2paBytes(), 0u);
+    ASSERT_TRUE(a.tryAdmit(0, 64)); // 32 chunks
+    EXPECT_EQ(a.va2paBytes(), a.chunksInUse() * 8);
+    ASSERT_TRUE(a.grow(0, 100)); // 50 chunks
+    EXPECT_EQ(a.chunksInUse(), 50u);
+    EXPECT_EQ(a.va2paBytes(), a.chunksInUse() * 8);
+    ASSERT_TRUE(a.tryAdmit(1, 2));
+    EXPECT_EQ(a.va2paBytes(), a.chunksInUse() * 8);
+    a.release(0);
+    EXPECT_EQ(a.chunksInUse(), 1u);
+    EXPECT_EQ(a.va2paBytes(), 8u);
+}
+
+TEST(LazyAllocator, CapacityNotMultipleOfChunkSize)
+{
+    // 2.5 MiB of capacity holds only floor(2.5) = 2 whole chunks;
+    // the 0.5 MiB tail is unmappable and must not admit work.
+    LazyChunkAllocator a(2_MiB + 512 * 1024, kBpt, kTmax, 1_MiB);
+    ASSERT_TRUE(a.tryAdmit(0, 2));
+    ASSERT_TRUE(a.tryAdmit(1, 2));
+    EXPECT_EQ(a.chunksInUse(), 2u);
+    EXPECT_FALSE(a.tryAdmit(2, 1)); // tail is not a chunk
+    EXPECT_FALSE(a.grow(0, 3));
+    a.release(1);
+    // A request needing 3 chunks can never fit in 2.
+    EXPECT_FALSE(a.tryAdmit(3, 5));
+    EXPECT_TRUE(a.tryAdmit(4, 2));
+}
+
 TEST(Allocator, FactoryAndNames)
 {
     auto st = makeAllocator(AllocatorKind::Static, 1_GiB, kBpt, kTmax);

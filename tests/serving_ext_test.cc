@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "system/engine.hh"
 #include "system/prefill.hh"
 #include "workload/arrival.hh"
@@ -50,6 +52,126 @@ TEST(Arrivals, ImmediateIsClosedLoop)
     auto reqs = uniformRequests(5, 1000, 8);
     for (const auto &t : immediateArrivals(reqs))
         EXPECT_DOUBLE_EQ(t.arrivalSeconds, 0.0);
+}
+
+namespace {
+
+/** Mean and CV of the inter-arrival gaps of @p timed. */
+void
+gapMoments(const std::vector<TimedRequest> &timed, double &mean,
+           double &cv)
+{
+    double prev = 0.0, sum = 0.0, sum2 = 0.0;
+    for (const auto &t : timed) {
+        double gap = t.arrivalSeconds - prev;
+        prev = t.arrivalSeconds;
+        sum += gap;
+        sum2 += gap * gap;
+    }
+    double n = static_cast<double>(timed.size());
+    mean = sum / n;
+    double var = sum2 / n - mean * mean;
+    cv = var > 0.0 ? std::sqrt(var) / mean : 0.0;
+}
+
+} // namespace
+
+TEST(Arrivals, GammaMatchesRateAndBurstiness)
+{
+    auto reqs = uniformRequests(20000, 1000, 8);
+    auto timed = gammaArrivals(reqs, 50.0, 2.5, 7);
+    ASSERT_EQ(timed.size(), reqs.size());
+    double prev = 0.0;
+    for (const auto &t : timed) {
+        EXPECT_GE(t.arrivalSeconds, prev);
+        prev = t.arrivalSeconds;
+    }
+    double mean, cv;
+    gapMoments(timed, mean, cv);
+    EXPECT_NEAR(mean, 1.0 / 50.0, 0.05 / 50.0);
+    EXPECT_NEAR(cv, 2.5, 2.5 * 0.1); // CV > 1: burstier than Poisson
+    EXPECT_GT(cv, 1.0);
+}
+
+TEST(Arrivals, GammaDeterministicPerSeed)
+{
+    auto reqs = uniformRequests(200, 1000, 8);
+    auto a = gammaArrivals(reqs, 10.0, 3.0, 5);
+    auto b = gammaArrivals(reqs, 10.0, 3.0, 5);
+    auto c = gammaArrivals(reqs, 10.0, 3.0, 6);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+        if (a[i].arrivalSeconds == c[i].arrivalSeconds)
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Arrivals, OnOffProducesBurstsAndMatchesLongRunRate)
+{
+    auto reqs = uniformRequests(20000, 1000, 8);
+    OnOffTraffic traffic;
+    traffic.onRate = 100.0;
+    traffic.offRate = 0.0;
+    traffic.meanOnSeconds = 1.0;
+    traffic.meanOffSeconds = 9.0;
+    auto timed = onOffArrivals(reqs, traffic, 7);
+    ASSERT_EQ(timed.size(), reqs.size());
+    double prev = 0.0;
+    for (const auto &t : timed) {
+        EXPECT_GE(t.arrivalSeconds, prev);
+        prev = t.arrivalSeconds;
+    }
+    // Long-run average: 100/s for 10% of the time ~ 10/s.
+    double mean, cv;
+    gapMoments(timed, mean, cv);
+    EXPECT_NEAR(mean, 0.1, 0.1 * 0.15);
+    // MMPP gaps are far burstier than the Poisson CV of 1: most gaps
+    // are intra-burst (~10 ms), a few span silent periods (~9 s).
+    EXPECT_GT(cv, 2.0);
+    std::size_t inside = 0, across = 0;
+    prev = 0.0;
+    for (const auto &t : timed) {
+        double gap = t.arrivalSeconds - prev;
+        prev = t.arrivalSeconds;
+        if (gap < 0.1)
+            ++inside;
+        else if (gap > 1.0)
+            ++across;
+    }
+    EXPECT_GT(inside, timed.size() * 9 / 10);
+    EXPECT_GT(across, 50u);
+}
+
+TEST(Arrivals, OnOffDeterministicPerSeed)
+{
+    auto reqs = uniformRequests(500, 1000, 8);
+    OnOffTraffic traffic;
+    auto a = onOffArrivals(reqs, traffic, 11);
+    auto b = onOffArrivals(reqs, traffic, 11);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+}
+
+TEST(Arrivals, BurstyTracesServeEndToEnd)
+{
+    // The bursty generators must compose with the event engine: an
+    // on/off trace admits in bursts and still completes everything.
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::centLike(model);
+    applyOptions(cluster, PimphonyOptions::all());
+    auto reqs = uniformRequests(16, 20000, 8);
+    OnOffTraffic traffic;
+    traffic.onRate = 50.0;
+    traffic.meanOnSeconds = 0.5;
+    traffic.meanOffSeconds = 2.0;
+    auto timed = onOffArrivals(reqs, traffic, 3);
+    EngineOptions opts;
+    opts.allocator = AllocatorKind::LazyChunk;
+    auto r = ServingEngine(cluster, model, timed, opts).run();
+    EXPECT_EQ(r.completedRequests, 16u);
+    EXPECT_GE(r.p95RequestLatency, r.avgRequestLatency);
 }
 
 TEST(OpenLoop, EngineIdlesUntilArrivals)
