@@ -14,8 +14,6 @@
 
 #include "bench_util.hh"
 
-#include <cstring>
-
 #include "system/prefill.hh"
 #include "workload/arrival.hh"
 
@@ -70,10 +68,8 @@ int
 main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
-    bool smoke = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            smoke = true;
+    bool smoke = bench::parseBenchArgs(
+        argc, argv, "chunked prefill vs decode interference sweep");
     if (smoke)
         sweep(8, 30000, 16, {1.5}, {0, 30000, 1024});
     else

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Co-scheduling policy sweep: policy x arrival rate x context length
+ * on the xPU+PIM system under the event-driven engine with chunked
+ * prefill. Each stage's xPU timeline is shared between prefill
+ * chunks and decode FC shares; the policy decides who goes first:
+ *
+ *   fifo            strict submission order (the baseline)
+ *   decode-priority decode FC overtakes queued chunks
+ *   chunk-preempt   + in-flight chunks preempted at a quantum
+ *   slo-admission   FIFO timeline, prefills deferred while the
+ *                   observed p95 token gap exceeds a target
+ *
+ * The interesting columns: gap p95 (the decode SLO the policies
+ * protect), ttft p95 (what SLO protection costs), and max FC wait
+ * (the stall bound chunk-preempt enforces). Prefill charge is
+ * conserved by every policy — "prefill (s)" must match across the
+ * policy rows of one (rate, ctx) cell.
+ *
+ * Run with --smoke for a tiny sweep (CI keeps the harness alive and
+ * archives the output for perf-trajectory tracking).
+ */
+
+#include "bench_util.hh"
+
+#include "system/prefill.hh"
+#include "system/sched_policy.hh"
+#include "workload/arrival.hh"
+
+using namespace pimphony;
+
+namespace {
+
+void
+sweep(std::size_t n_requests, Tokens decode, Tokens chunk,
+      const std::vector<double> &rates, const std::vector<Tokens> &contexts)
+{
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::neupimsLike(model);
+    applyOptions(cluster, PimphonyOptions::all());
+
+    printBanner(std::cout,
+                "xPU co-scheduling policies, xPU+PIM, LLM-7B-128K-GQA");
+    std::cout << n_requests << " requests, " << decode
+              << " decode tokens, chunk " << chunk
+              << " tok, bursty (gamma cv=3) arrivals\n";
+
+    TablePrinter t({"ctx (tok)", "rate (req/s)", "policy", "tok/s",
+                    "ttft p95 (s)", "gap p95 (ms)", "fc wait max (ms)",
+                    "slices", "defers", "prefill (s)"});
+    for (Tokens ctx : contexts) {
+        std::vector<Request> reqs;
+        for (RequestId i = 0; i < n_requests; ++i)
+            reqs.push_back({i, ctx, decode});
+        for (double rate : rates) {
+            auto timed = gammaArrivals(reqs, rate, 3.0, 17);
+            for (SchedPolicyKind kind : allSchedPolicies()) {
+                EngineOptions opts;
+                opts.allocator = AllocatorKind::LazyChunk;
+                opts.stepModel = StepModel::EventDriven;
+                opts.prefillChunkTokens = chunk;
+                opts.sched.kind = kind;
+                auto r = ServingEngine(cluster, model, timed, opts).run();
+                t.addRow({std::to_string(ctx), TablePrinter::fmt(rate, 1),
+                          schedPolicyName(kind),
+                          TablePrinter::fmt(r.tokensPerSecond, 1),
+                          TablePrinter::fmt(r.p95FirstTokenSeconds, 2),
+                          TablePrinter::fmt(r.p95TokenGapSeconds * 1e3, 1),
+                          TablePrinter::fmt(
+                              r.maxDecodeXpuWaitSeconds * 1e3, 1),
+                          std::to_string(r.chunkSlices),
+                          std::to_string(r.sloDeferrals),
+                          TablePrinter::fmt(r.prefillSeconds, 2)});
+            }
+        }
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::QuietLogs quiet;
+    bool smoke = bench::parseBenchArgs(
+        argc, argv,
+        "co-scheduling policy sweep (policy x rate x context)");
+    if (smoke)
+        sweep(8, 16, 2048, {1.5}, {30000});
+    else
+        sweep(24, 48, 2048, {0.8, 1.2, 1.6}, {8000, 30000, 60000});
+    return 0;
+}

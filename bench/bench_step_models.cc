@@ -18,7 +18,7 @@ namespace {
 
 void
 sweep(const char *title, SystemKind system, const LlmConfig &model,
-      TraceTask task)
+      TraceTask task, bool smoke)
 {
     printBanner(std::cout, title);
 
@@ -40,8 +40,8 @@ sweep(const char *title, SystemKind system, const LlmConfig &model,
             cfg.options = PimphonyOptions::all();
             cfg.plan = plan;
             cfg.stepModel = sm;
-            cfg.nRequests = 24;
-            cfg.decodeTokens = 32;
+            cfg.nRequests = smoke ? 8 : 24;
+            cfg.decodeTokens = smoke ? 8 : 32;
             PimphonyOrchestrator orch(cfg);
             tps[i++] = orch.evaluate(task).engine.tokensPerSecond;
         }
@@ -55,14 +55,16 @@ sweep(const char *title, SystemKind system, const LlmConfig &model,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bool smoke = bench::parseBenchArgs(
+        argc, argv, "event-driven vs analytic step-model comparison");
     sweep("Step models, PIM-only, LLM-7B-128K-GQA on multifieldqa",
           SystemKind::PimOnly, LlmConfig::llm7b(true),
-          TraceTask::MultifieldQa);
+          TraceTask::MultifieldQa, smoke);
     sweep("Step models, PIM-only, LLM-7B-32K on QMSum",
           SystemKind::PimOnly, LlmConfig::llm7b(false),
-          TraceTask::QMSum);
+          TraceTask::QMSum, smoke);
     return 0;
 }

@@ -6,6 +6,7 @@
 #ifndef PIMPHONY_BENCH_BENCH_UTIL_HH
 #define PIMPHONY_BENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,6 +17,37 @@
 
 namespace pimphony {
 namespace bench {
+
+/**
+ * Minimal flag handling for the serving benches: recognizes --smoke
+ * (tiny sweep for CI liveness) and --help, and fails loudly — usage
+ * on stderr, exit 2 — on anything else, so a typo'd flag cannot
+ * silently run the full sweep in CI. @return true when --smoke was
+ * given.
+ */
+inline bool
+parseBenchArgs(int argc, char **argv, const char *description)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << argv[0] << " -- " << description << "\n\n"
+                      << "usage: " << argv[0] << " [--smoke]\n"
+                      << "  --smoke   tiny sweep (CI keeps the harness "
+                         "alive)\n"
+                      << "  --help    this message\n";
+            std::exit(0);
+        } else {
+            std::cerr << argv[0] << ": unknown flag '" << arg << "'\n"
+                      << "usage: " << argv[0] << " [--smoke|--help]\n";
+            std::exit(2);
+        }
+    }
+    return smoke;
+}
 
 /** The four cumulative technique stacks every throughput figure uses. */
 inline std::vector<PimphonyOptions>

@@ -54,6 +54,7 @@ PimphonyOrchestrator::runPlan(const std::vector<Request> &requests,
     opts.stepModel = config_.stepModel;
     opts.prefillChunkTokens = config_.prefillChunkTokens;
     opts.chargePrefill = config_.chargePrefill;
+    opts.sched = config_.sched;
     opts.maxSteps = config_.maxSteps;
     ServingEngine engine(c, config_.model, requests, opts);
     EvaluationResult out;

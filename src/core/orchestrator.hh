@@ -44,6 +44,15 @@ struct OrchestratorConfig
     /** Charge scalar prefill time at admission (see EngineOptions). */
     bool chargePrefill = false;
 
+    /**
+     * Prefill/decode co-scheduling policy (see
+     * EngineOptions::sched): arbitration of the per-stage xPU
+     * timelines between prefill chunks and decode FC shares, and the
+     * SLO-aware admission gate. FIFO by default; event-driven model
+     * only.
+     */
+    SchedPolicyConfig sched;
+
     /** Module-count override (0 = the preset's deployment size). */
     unsigned modulesOverride = 0;
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * Device abstraction for the event-driven serving core.
+ * Device abstractions for the event-driven serving core.
  *
  * A Device is a FIFO-serial timeline: work submitted with a ready
  * time begins at max(ready, busyUntil()) and completes after its
@@ -8,14 +8,27 @@
  * (so callers can chain stages deterministically) while completion
  * notifications are delivered through the event queue, keeping all
  * observable ordering in event time.
+ *
+ * A QueuedDevice generalizes the timeline to queue-based arbitration:
+ * items wait in a pending queue and a QueueArbiter picks the next one
+ * at every dispatch point (dispatch decisions happen in event time,
+ * so later-submitted work can overtake queued work) and may bound a
+ * dispatch to a service quantum (preempting an in-flight item at the
+ * slice boundary). With no arbiter a QueuedDevice degenerates to the
+ * plain Device timeline, bit for bit. Because arbitration depends on
+ * future submissions, QueuedDevice completion times are authoritative
+ * only through the completion callback; the submit() return value is
+ * a congestion-free estimate.
  */
 
 #ifndef PIMPHONY_SIM_DEVICE_HH
 #define PIMPHONY_SIM_DEVICE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/work_item.hh"
@@ -61,6 +74,130 @@ class Device
     double busyUntil_ = 0.0;
     double busySeconds_ = 0.0;
     std::uint64_t completed_ = 0;
+};
+
+/**
+ * Arbitration hooks for a QueuedDevice. The sim layer defines only
+ * the mechanism (pick + slice); the serving policies implementing it
+ * live in system/sched_policy.
+ */
+class QueueArbiter
+{
+  public:
+    virtual ~QueueArbiter() = default;
+
+    /**
+     * Pick the next item to dispatch. @p eligible holds the queued
+     * items whose ready time has passed, in submission (FIFO) order;
+     * it is never empty. @return an index into @p eligible. The
+     * default is FIFO (index 0).
+     */
+    virtual std::size_t
+    pickNext(const std::vector<const WorkItem *> &eligible) const
+    {
+        (void)eligible;
+        return 0;
+    }
+
+    /**
+     * Longest single dispatch of @p item in seconds. A value <= 0
+     * serves the item's remaining charge unsliced; a positive
+     * quantum preempts the item at the slice boundary and re-queues
+     * the remainder (keeping its queue position), so the device
+     * re-arbitrates at least every quantum.
+     */
+    virtual double
+    sliceSeconds(const WorkItem &item) const
+    {
+        (void)item;
+        return 0.0;
+    }
+};
+
+/**
+ * A serial device whose dispatch order is delegated to a
+ * QueueArbiter. Submitted items wait in a pending queue; whenever
+ * the device idles it dispatches the arbiter's pick among the ready
+ * items (or sleeps until the earliest ready time). Preempted items
+ * conserve their total service charge exactly: the slices of one
+ * item sum to its WorkItem::seconds, and busySeconds() accounts
+ * every slice as served.
+ *
+ * With a null arbiter every call forwards to the plain Device
+ * timeline arithmetic, preserving the FIFO semantics (including
+ * advance reservation of future-ready items) exactly.
+ */
+class QueuedDevice : public Device
+{
+  public:
+    QueuedDevice(std::string name, const QueueArbiter *arbiter)
+        : Device(std::move(name)), arbiter_(arbiter)
+    {
+    }
+
+    double submit(EventQueue &queue, const WorkItem &item, double ready,
+                  CompletionFn done = nullptr) override;
+
+    double busyUntil() const override;
+    double busySeconds() const override;
+    std::uint64_t completedItems() const override;
+
+    bool arbitrated() const { return arbiter_ != nullptr; }
+
+    // --- Policy observability. --------------------------------------
+
+    /** Preemption splits (dispatches that left a remainder queued). */
+    std::uint64_t preemptionSlices() const { return slices_; }
+
+    /** Dispatches that overtook earlier-queued eligible work. */
+    std::uint64_t overtakes() const { return overtakes_; }
+
+    /**
+     * Worst queueing delay (start - ready) of a DecodeCycle-kind
+     * item, i.e. the longest a decode share stalled behind other
+     * work on this timeline. Arbitrated dispatches record it
+     * automatically; reservation-path callers (null arbiter) report
+     * theirs through noteDecodeWait() so the metric stays comparable
+     * across policies.
+     */
+    double maxDecodeWaitSeconds() const { return maxDecodeWait_; }
+
+    /** Record a decode queueing delay observed outside pump(). */
+    void
+    noteDecodeWait(double seconds)
+    {
+        maxDecodeWait_ = std::max(maxDecodeWait_, seconds);
+    }
+
+  private:
+    struct Pending
+    {
+        WorkItem item;
+        double ready = 0.0;
+        double remaining = 0.0;
+        CompletionFn done;
+        std::uint64_t seq = 0;
+    };
+
+    /** Dispatch the next eligible item when idle. */
+    void pump(EventQueue &queue);
+
+    /** Completion of the in-service slice at @p t. */
+    void finishSlice(EventQueue &queue, double t);
+
+    const QueueArbiter *arbiter_;
+    std::vector<Pending> pending_;
+    bool inService_ = false;
+    bool sliceIsFinal_ = false;
+    double sliceSeconds_ = 0.0;
+    std::uint64_t serviceSeq_ = 0;
+    double timelineEnd_ = 0.0;
+    double servedSeconds_ = 0.0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t slices_ = 0;
+    std::uint64_t overtakes_ = 0;
+    double maxDecodeWait_ = 0.0;
 };
 
 } // namespace sim

@@ -13,8 +13,14 @@
  * ordered list of elements (one per chunk) through the stages with
  * chunk k+1 entering stage 0 at chunk k's stage-0 completion, so at
  * most one chunk per request queues at any stage and decode work
- * submitted in between interleaves with the chunk stream in FIFO
- * order.
+ * submitted in between interleaves with the chunk stream.
+ *
+ * Stage devices need not be plain FIFO timelines: a queue-arbitrated
+ * stage (see sim::QueuedDevice and the co-scheduling policies in
+ * system/sched_policy) may reorder or slice queued work, so its
+ * submit() return value is only an estimate. The pipeline therefore
+ * advances chains and sequences exclusively on completion events —
+ * the authoritative times under every arbitration policy.
  */
 
 #ifndef PIMPHONY_SIM_PIPELINE_HH

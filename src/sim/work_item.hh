@@ -53,6 +53,22 @@ struct WorkItem
      * xPU, the FC share completes late and gates the stage instead.
      */
     double fcSeconds = 0.0;
+
+    // --- Preemption metadata (maintained by QueuedDevice). ----------
+
+    /**
+     * Service seconds already delivered by earlier dispatch slices
+     * when the item was preempted mid-service (quantum policies).
+     * Equals @ref seconds by the time onComplete observes the item.
+     */
+    double servedSeconds = 0.0;
+
+    /**
+     * Dispatch slices the item was served in (1 = never preempted).
+     * Slices beyond the first are preemption splits: the remaining
+     * charge was re-queued and re-planned after each quantum.
+     */
+    std::uint32_t slices = 1;
 };
 
 } // namespace sim

@@ -376,10 +376,16 @@ ServingEngine::runEventDriven()
     const bool chunked = options_.prefillChunkTokens > 0;
 
     sim::EventQueue queue;
+    // Co-scheduling policy: arbitration of the xPU timelines (FIFO
+    // policies keep the plain reservation arithmetic) plus the
+    // SLO admission gate consulted below.
+    std::unique_ptr<SchedPolicy> policy = makeSchedPolicy(options_.sched);
     // Every stage carries an xPU timeline: in XpuPim mode it serves
     // decode FC shares and prefill chunks; in PimOnly mode only the
     // prefill chunks (the PNM compute engines) land there.
-    StageDeviceSet stages(pp, *module_, xpu_.get());
+    StageDeviceSet stages(pp, *module_, xpu_.get(),
+                          policy->reordersXpu() ? policy.get()
+                                                : nullptr);
 
     struct Cohort
     {
@@ -483,11 +489,37 @@ ServingEngine::runEventDriven()
             });
     };
 
+    // SLO feedback: nearest-rank p95 over the most recent window of
+    // decode token gaps — the signal the SloAdmission gate steers on.
+    auto recentGapP95 = [&]() {
+        std::size_t window = std::min<std::size_t>(
+            options_.sched.sloWindow, tokenGaps_.size());
+        if (window == 0)
+            return 0.0;
+        std::vector<double> recent(tokenGaps_.end() -
+                                       static_cast<std::ptrdiff_t>(window),
+                                   tokenGaps_.end());
+        std::sort(recent.begin(), recent.end());
+        return nearestRankPercentile(recent, 95.0);
+    };
+
     // Admission under the same per-request rules as the analytic
     // path (tryAdmitOne); admitted requests reach the ready pool
-    // once decode-ready (immediately, or after prefill chunks).
+    // once decode-ready (immediately, or after prefill chunks). The
+    // policy's admission gate runs first: a deferred prefill blocks
+    // the (FIFO) admission queue until the SLO signal recovers,
+    // re-checked at every cycle completion.
     auto admitArrivals = [&](double now) {
         while (!arrived.empty()) {
+            if (chunked && arrived.front().request.contextTokens > 0 &&
+                !policy->admitPrefill(
+                    policy->needsGapSignal() ? recentGapP95() : 0.0,
+                    std::min<std::size_t>(options_.sched.sloWindow,
+                                          tokenGaps_.size()),
+                    inFlightCount() > 0)) {
+                ++result_.sloDeferrals;
+                break;
+            }
             TimedRequest timed = arrived.front();
             double prefill_sec = 0.0;
             AdmitOutcome outcome = tryAdmitOne(timed, prefill_sec);
@@ -652,6 +684,19 @@ ServingEngine::runEventDriven()
     if (capped)
         warn("engine stopped at the cycle cap (%llu)",
              static_cast<unsigned long long>(options_.maxSteps));
+
+    // Per-policy observability off the stage timelines.
+    for (unsigned s = 0; s < stages.count(); ++s) {
+        XpuStageDevice *x = stages.stage(s).xpu();
+        if (!x)
+            continue;
+        result_.chunkSlices += x->preemptionSlices();
+        result_.decodeOvertakes += x->overtakes();
+        result_.maxDecodeXpuWaitSeconds =
+            std::max(result_.maxDecodeXpuWaitSeconds,
+                     x->maxDecodeWaitSeconds());
+        result_.xpuPrefillBusySeconds += x->prefillBusySeconds();
+    }
 
     result_.simulatedSeconds = end_time;
     finalizeResult(busy_acc, span_acc, batch_time, capacity_time);

@@ -40,6 +40,7 @@
 
 #include "alloc/kv_allocator.hh"
 #include "system/cluster.hh"
+#include "system/sched_policy.hh"
 #include "workload/arrival.hh"
 #include "workload/trace.hh"
 
@@ -83,6 +84,15 @@ struct EngineOptions
      * models stay comparable. 0 disables chunking.
      */
     Tokens prefillChunkTokens = 0;
+
+    /**
+     * Prefill/decode co-scheduling policy for the per-stage xPU
+     * timelines (and the admission gate). Defaults to FIFO — the
+     * PR 2 behavior, bit for bit. Policies act under the
+     * event-driven model only; the analytic model has no per-item
+     * timeline to arbitrate and ignores them.
+     */
+    SchedPolicyConfig sched;
 };
 
 struct EngineResult
@@ -130,6 +140,34 @@ struct EngineResult
 
     /** Per-request TTFT, keyed by request id (first admission). */
     std::unordered_map<RequestId, double> firstTokenLatency;
+
+    // --- Co-scheduling policy metrics (event-driven model). ---------
+
+    /** Admission checks deferred by the SLO gate (SloAdmission). */
+    std::uint64_t sloDeferrals = 0;
+
+    /** Preemption splits of in-flight prefill chunks (ChunkPreempt). */
+    std::uint64_t chunkSlices = 0;
+
+    /** xPU dispatches where decode overtook earlier-queued prefill. */
+    std::uint64_t decodeOvertakes = 0;
+
+    /**
+     * Worst xPU queueing delay of one decode FC share (seconds):
+     * how long a decode cycle stalled waiting for the compute
+     * timeline. ChunkPreempt bounds this by its quantum when one
+     * decode share is in flight at a time (PP=1).
+     */
+    double maxDecodeXpuWaitSeconds = 0.0;
+
+    /**
+     * Prefill seconds served to completion on the xPU timelines,
+     * summed across stages. Every policy must conserve the planner's
+     * apportioned charge: this equals prefillSeconds scaled by
+     * prefillEngines / tp regardless of how preemption relocates the
+     * work.
+     */
+    double xpuPrefillBusySeconds = 0.0;
 };
 
 class ServingEngine

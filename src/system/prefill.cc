@@ -82,4 +82,26 @@ prefillChunkSeconds(const LlmConfig &model, Tokens tokens,
     return out;
 }
 
+std::vector<double>
+preemptionSlices(double chunk_seconds, double quantum)
+{
+    std::vector<double> out;
+    if (chunk_seconds <= 0.0)
+        return out;
+    if (quantum <= 0.0) {
+        out.push_back(chunk_seconds);
+        return out;
+    }
+    double remaining = chunk_seconds;
+    // Mirror the sim core's slice test (a hair of tolerance keeps an
+    // exact multiple at exactly charge / quantum slices despite fp
+    // subtraction drift).
+    while (remaining > quantum * (1.0 + 1e-9)) {
+        out.push_back(quantum);
+        remaining -= quantum;
+    }
+    out.push_back(remaining);
+    return out;
+}
+
 } // namespace pimphony

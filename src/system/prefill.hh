@@ -76,6 +76,19 @@ std::vector<double> prefillChunkSeconds(const LlmConfig &model,
                                         const XpuConfig &config,
                                         unsigned n_engines);
 
+/**
+ * Preemption re-plan: the dispatch slices a quantum co-scheduling
+ * policy (SchedPolicyKind::ChunkPreempt) serves one chunk's service
+ * charge in — full quanta followed by the remainder, matching the
+ * sim core's slice arithmetic. The slices sum exactly to
+ * @p chunk_seconds: preempting a chunk relocates its remaining
+ * charge in time but never loses any of it. A quantum <= 0 (or a
+ * charge that fits one quantum) yields a single slice; a charge
+ * <= 0 yields none.
+ */
+std::vector<double> preemptionSlices(double chunk_seconds,
+                                     double quantum);
+
 } // namespace pimphony
 
 #endif // PIMPHONY_SYSTEM_PREFILL_HH

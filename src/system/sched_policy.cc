@@ -1,0 +1,95 @@
+#include "system/sched_policy.hh"
+
+#include "common/logging.hh"
+
+namespace pimphony {
+
+std::string
+schedPolicyName(SchedPolicyKind kind)
+{
+    switch (kind) {
+      case SchedPolicyKind::Fifo:           return "fifo";
+      case SchedPolicyKind::DecodePriority: return "decode-priority";
+      case SchedPolicyKind::ChunkPreempt:   return "chunk-preempt";
+      case SchedPolicyKind::SloAdmission:   return "slo-admission";
+    }
+    return "?";
+}
+
+bool
+parseSchedPolicy(const std::string &name, SchedPolicyKind &out)
+{
+    for (SchedPolicyKind kind : allSchedPolicies()) {
+        if (name == schedPolicyName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<SchedPolicyKind>
+allSchedPolicies()
+{
+    return {SchedPolicyKind::Fifo, SchedPolicyKind::DecodePriority,
+            SchedPolicyKind::ChunkPreempt, SchedPolicyKind::SloAdmission};
+}
+
+std::size_t
+DecodePriorityPolicy::pickNext(
+    const std::vector<const sim::WorkItem *> &eligible) const
+{
+    // Earliest-queued decode share first; with none waiting, the
+    // earliest-queued prefill chunk (plain FIFO among chunks, so a
+    // preempted remainder resumes before later chunks).
+    for (std::size_t i = 0; i < eligible.size(); ++i)
+        if (eligible[i]->kind == sim::WorkItem::Kind::DecodeCycle)
+            return i;
+    return 0;
+}
+
+double
+ChunkPreemptPolicy::sliceSeconds(const sim::WorkItem &item) const
+{
+    if (item.kind != sim::WorkItem::Kind::PrefillChunk)
+        return 0.0;
+    return config_.preemptQuantumSeconds;
+}
+
+bool
+SloAdmissionPolicy::admitPrefill(double observed_p95_gap,
+                                 std::size_t gap_samples,
+                                 bool decode_in_flight) const
+{
+    // The gate can only bind while decode work is in flight: with
+    // nothing decoding there is no SLO pressure, and a binding gate
+    // would deadlock admission (no event could ever clear it).
+    if (!decode_in_flight || gap_samples < config_.sloMinSamples)
+        return true;
+    return observed_p95_gap <=
+           config_.sloHeadroom * config_.sloTargetGapSeconds;
+}
+
+std::unique_ptr<SchedPolicy>
+makeSchedPolicy(const SchedPolicyConfig &config)
+{
+    switch (config.kind) {
+      case SchedPolicyKind::Fifo:
+        return std::make_unique<FifoPolicy>(config);
+      case SchedPolicyKind::DecodePriority:
+        return std::make_unique<DecodePriorityPolicy>(config);
+      case SchedPolicyKind::ChunkPreempt:
+        if (config.preemptQuantumSeconds <= 0.0)
+            fatal("chunk-preempt needs a positive quantum (got %g s)",
+                  config.preemptQuantumSeconds);
+        return std::make_unique<ChunkPreemptPolicy>(config);
+      case SchedPolicyKind::SloAdmission:
+        if (config.sloTargetGapSeconds <= 0.0)
+            fatal("slo-admission needs a positive gap target (got %g s)",
+                  config.sloTargetGapSeconds);
+        return std::make_unique<SloAdmissionPolicy>(config);
+    }
+    fatal("unknown scheduling policy");
+}
+
+} // namespace pimphony

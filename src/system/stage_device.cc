@@ -1,15 +1,18 @@
 #include "system/stage_device.hh"
 
 #include <algorithm>
+#include <utility>
 
 namespace pimphony {
 
 PipelineStage::PipelineStage(std::string name, PimModuleModel &pim,
-                             XpuModel *xpu)
-    : sim::Device(name), pim_(name + ".pim", pim)
+                             XpuModel *xpu,
+                             const sim::QueueArbiter *arbiter)
+    : sim::Device(name), arbiter_(arbiter), pim_(name + ".pim", pim)
 {
     if (xpu)
-        xpu_ = std::make_unique<XpuStageDevice>(name + ".xpu", *xpu);
+        xpu_ = std::make_unique<XpuStageDevice>(name + ".xpu", *xpu,
+                                                arbiter);
 }
 
 double
@@ -19,10 +22,21 @@ PipelineStage::submit(sim::EventQueue &queue, const sim::WorkItem &item,
     if (item.kind == sim::WorkItem::Kind::PrefillChunk) {
         // Prefill chunks occupy the stage's compute timeline (the
         // xPU when one exists, else the serializing device), queueing
-        // FIFO with decode FC shares submitted around them.
+        // with decode FC shares under the attached arbitration.
         sim::Device &dev =
             xpu_ ? static_cast<sim::Device &>(*xpu_) : pim_;
         return dev.submit(queue, item, ready, std::move(done));
+    }
+
+    if (arbiter_ && xpu_ && item.fcSeconds > 0.0) {
+        // Arbitrated path: the FC share's completion depends on
+        // future arbitration, so the stage queues decode items and
+        // joins the two timelines in event time.
+        double estimate =
+            std::max(ready, pim_.busyUntil()) + item.seconds;
+        decodeQ_.push_back({item, ready, std::move(done)});
+        pumpDecode(queue);
+        return estimate;
     }
 
     double start = std::max(ready, pim_.busyUntil());
@@ -36,19 +50,74 @@ PipelineStage::submit(sim::EventQueue &queue, const sim::WorkItem &item,
         // serializing timeline (fc <= seconds); behind queued prefill
         // chunks it completes late and gates the stage instead.
         double fc_done = xpu_->submit(queue, fc, start);
+        // Reservation arithmetic is synchronous, so the queueing
+        // delay is known here; record it to keep the decode-wait
+        // metric comparable with arbitrated policies.
+        xpu_->noteDecodeWait(fc_done - fc.seconds - start);
         if (fc_done > start + item.seconds)
             main.seconds = fc_done - start;
     }
     return pim_.submit(queue, main, ready, std::move(done));
 }
 
+void
+PipelineStage::pumpDecode(sim::EventQueue &queue)
+{
+    if (decodeInFlight_ || decodeQ_.empty())
+        return;
+    DecodeEntry e = std::move(decodeQ_.front());
+    decodeQ_.pop_front();
+    decodeInFlight_ = true;
+    decodeDone_ = std::move(e.done);
+
+    double start = std::max(e.ready, pim_.busyUntil());
+    sim::WorkItem att = e.item;
+    att.fcSeconds = 0.0;
+    // The attention charge reserves the serializing timeline now;
+    // its end is exact (plain FIFO arithmetic, one item in flight).
+    double att_end = pim_.submit(queue, att, e.ready);
+
+    sim::WorkItem fc = e.item;
+    fc.seconds = std::min(e.item.fcSeconds, e.item.seconds);
+    fc.fcSeconds = 0.0;
+    xpu_->submit(queue, fc, start,
+                 [this, &queue, att_end](double fc_end) {
+                     joinDecode(queue, att_end, fc_end);
+                 });
+}
+
+void
+PipelineStage::joinDecode(sim::EventQueue &queue, double att_end,
+                          double fc_end)
+{
+    double completion = std::max(att_end, fc_end);
+    if (fc_end > att_end) {
+        // The FC share was gated behind prefill work: charge the
+        // stall to the serializing timeline, as the FIFO path does
+        // by extending the item's service, so the next decode item
+        // cannot start under the stall.
+        sim::WorkItem stall;
+        stall.seconds = fc_end - att_end;
+        pim_.submit(queue, stall, att_end);
+    }
+    queue.schedule(completion, [this, &queue](double t) {
+        decodeInFlight_ = false;
+        CompletionFn done = std::move(decodeDone_);
+        decodeDone_ = nullptr;
+        if (done)
+            done(t);
+        pumpDecode(queue);
+    });
+}
+
 StageDeviceSet::StageDeviceSet(unsigned pp, PimModuleModel &pim,
-                               XpuModel *xpu)
+                               XpuModel *xpu,
+                               const sim::QueueArbiter *arbiter)
 {
     std::vector<sim::Device *> devices;
     for (unsigned s = 0; s < pp; ++s) {
         stages_.push_back(std::make_unique<PipelineStage>(
-            "stage" + std::to_string(s), pim, xpu));
+            "stage" + std::to_string(s), pim, xpu, arbiter));
         devices.push_back(stages_.back().get());
     }
     pipeline_ = std::make_unique<sim::StagePipeline>(devices);

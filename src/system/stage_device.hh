@@ -17,6 +17,7 @@
 #ifndef PIMPHONY_SYSTEM_STAGE_DEVICE_HH
 #define PIMPHONY_SYSTEM_STAGE_DEVICE_HH
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,36 +44,70 @@ class PimStageDevice : public sim::Device
     PimModuleModel *model_;
 };
 
-/** The xPU side of a stage: a FIFO timeline over an xPU model. */
-class XpuStageDevice : public sim::Device
+/**
+ * The xPU side of a stage: a timeline over an xPU model. With a null
+ * arbiter it is the PR 2 FIFO reservation timeline; with a
+ * co-scheduling policy attached it arbitrates between queued prefill
+ * chunks and decode FC shares (see system/sched_policy).
+ */
+class XpuStageDevice : public sim::QueuedDevice
 {
   public:
-    XpuStageDevice(std::string name, XpuModel &model)
-        : sim::Device(std::move(name)), model_(&model)
+    XpuStageDevice(std::string name, XpuModel &model,
+                   const sim::QueueArbiter *arbiter = nullptr)
+        : sim::QueuedDevice(std::move(name), arbiter), model_(&model)
     {
     }
 
     XpuModel &model() { return *model_; }
 
+    /**
+     * Prefill seconds actually served to completion on this
+     * timeline. Policies relocate prefill work in time; none may
+     * lose any of its charge (conservation is asserted against the
+     * planner's apportioned totals).
+     */
+    double prefillBusySeconds() const { return prefillBusy_; }
+
+  protected:
+    void
+    onComplete(const sim::WorkItem &item, double) override
+    {
+        if (item.kind == sim::WorkItem::Kind::PrefillChunk)
+            prefillBusy_ += item.seconds;
+    }
+
   private:
     XpuModel *model_;
+    double prefillBusy_ = 0.0;
 };
 
 /**
  * One PP stage: serializes decode cohorts on the PIM timeline and,
  * when an xPU timeline is attached, runs each item's FC share there
- * in FIFO order with prefill chunks. With an idle xPU the FC share
- * (never larger than the item's total service time) trails the PIM
- * timeline as a pure shadow; when prefill chunks congest the xPU the
- * FC share completes late and the decode item is extended to cover
- * the stall, so prefill delays decode exactly as a shared compute
- * engine would. PrefillChunk items route to the xPU timeline (or the
- * PIM timeline when the stage has none).
+ * together with prefill chunks. With an idle xPU the FC share (never
+ * larger than the item's total service time) trails the PIM timeline
+ * as a pure shadow; when prefill chunks congest the xPU the FC share
+ * completes late and the stage is extended to cover the stall, so
+ * prefill delays decode exactly as a shared compute engine would.
+ * PrefillChunk items route to the xPU timeline (or the PIM timeline
+ * when the stage has none).
+ *
+ * With a co-scheduling arbiter attached, the xPU timeline is
+ * queue-arbitrated and an FC share's completion is unknown at submit
+ * time (later decode work may overtake queued chunks), so the stage
+ * serializes decode items through its own queue and joins the PIM
+ * and xPU completions in event time: the stage completes at
+ * max(attention end, FC end), and any FC stall is charged to the PIM
+ * timeline to keep it serializing (as the FIFO path does by
+ * extending the item). Without an arbiter the PR 2 synchronous path
+ * is used unchanged.
  */
 class PipelineStage : public sim::Device
 {
   public:
-    PipelineStage(std::string name, PimModuleModel &pim, XpuModel *xpu);
+    PipelineStage(std::string name, PimModuleModel &pim, XpuModel *xpu,
+                  const sim::QueueArbiter *arbiter = nullptr);
 
     double submit(sim::EventQueue &queue, const sim::WorkItem &item,
                   double ready, CompletionFn done = nullptr) override;
@@ -88,18 +123,38 @@ class PipelineStage : public sim::Device
     XpuStageDevice *xpu() { return xpu_ ? xpu_.get() : nullptr; }
 
   private:
+    struct DecodeEntry
+    {
+        sim::WorkItem item;
+        double ready = 0.0;
+        CompletionFn done;
+    };
+
+    /** Start the next queued decode item (arbitrated path). */
+    void pumpDecode(sim::EventQueue &queue);
+
+    /** Join point: both attention and FC ends known. */
+    void joinDecode(sim::EventQueue &queue, double att_end,
+                    double fc_end);
+
+    const sim::QueueArbiter *arbiter_ = nullptr;
     PimStageDevice pim_;
     std::unique_ptr<XpuStageDevice> xpu_;
+    std::deque<DecodeEntry> decodeQ_;
+    bool decodeInFlight_ = false;
+    CompletionFn decodeDone_;
 };
 
 /**
  * Build the per-stage devices for a PP-deep pipeline and a
- * StagePipeline view over them.
+ * StagePipeline view over them. @p arbiter (optional) attaches a
+ * co-scheduling policy to every stage's xPU timeline.
  */
 class StageDeviceSet
 {
   public:
-    StageDeviceSet(unsigned pp, PimModuleModel &pim, XpuModel *xpu);
+    StageDeviceSet(unsigned pp, PimModuleModel &pim, XpuModel *xpu,
+                   const sim::QueueArbiter *arbiter = nullptr);
 
     sim::StagePipeline &pipeline() { return *pipeline_; }
     PipelineStage &stage(unsigned s) { return *stages_[s]; }

@@ -117,6 +117,95 @@ TEST(StagePipeline, CohortsOverlapAcrossStages)
     EXPECT_DOUBLE_EQ(done1, 3.0);
 }
 
+TEST(StagePipeline, SubmitChainOnSingleStageMatchesDeviceSubmit)
+{
+    // PP=1: a chain degenerates to one device submission — same
+    // completion time, one completed item, stage index stamped.
+    sim::EventQueue q;
+    sim::Device s0("s0");
+    sim::StagePipeline pipe({&s0});
+    std::vector<sim::WorkItem> items(1);
+    items[0].seconds = 2.0;
+    items[0].stage = 7; // overwritten by the chain
+    double done = -1.0;
+    pipe.submitChain(q, items, 1.0, [&](double t) { done = t; });
+    q.runAll();
+    EXPECT_DOUBLE_EQ(done, 3.0);
+    EXPECT_EQ(s0.completedItems(), 1u);
+    EXPECT_DOUBLE_EQ(s0.busySeconds(), 2.0);
+}
+
+TEST(StagePipeline, SequenceOnSingleStageRunsElementsBackToBack)
+{
+    // PP=1: stage 0 is also the last stage, so element k+1 enters at
+    // element k's completion — chunk pipelining degenerates to
+    // serial execution without gaps or overlap.
+    sim::EventQueue q;
+    sim::Device s0("s0");
+    sim::StagePipeline pipe({&s0});
+    auto element = [](double sec) {
+        std::vector<sim::WorkItem> row(1);
+        row[0].seconds = sec;
+        return row;
+    };
+    double done = -1.0;
+    pipe.submitSequence(q, {element(1.0), element(2.0), element(0.5)},
+                        0.0, [&](double t) { done = t; });
+    q.runAll();
+    EXPECT_DOUBLE_EQ(done, 3.5);
+    EXPECT_EQ(s0.completedItems(), 3u);
+}
+
+TEST(StagePipeline, TwoSequencesInterleaveElementWise)
+{
+    // Two requests' chunk streams on one stage interleave FIFO at
+    // element granularity: A0 B0 A1 B1, because each stream only
+    // submits its next element at the previous one's stage-0
+    // completion event.
+    sim::EventQueue q;
+    sim::Device s0("s0");
+    sim::StagePipeline pipe({&s0});
+    auto element = [](double sec) {
+        std::vector<sim::WorkItem> row(1);
+        row[0].seconds = sec;
+        return row;
+    };
+    double a_done = -1.0, b_done = -1.0;
+    pipe.submitSequence(q, {element(1.0), element(1.0)}, 0.0,
+                        [&](double t) { a_done = t; });
+    pipe.submitSequence(q, {element(1.0), element(1.0)}, 0.0,
+                        [&](double t) { b_done = t; });
+    q.runAll();
+    // A0 [0,1], B0 [1,2], A1 [2,3], B1 [3,4].
+    EXPECT_DOUBLE_EQ(a_done, 3.0);
+    EXPECT_DOUBLE_EQ(b_done, 4.0);
+    EXPECT_DOUBLE_EQ(s0.busySeconds(), 4.0);
+}
+
+TEST(ChunkedPrefillEdge, ZeroContextRequestSkipsPrefill)
+{
+    // A zero-context request has a zero-chunk prefill plan: it must
+    // enter the decode pool immediately (TTFT ~ one decode cycle)
+    // while a long-context peer pays its chunked prefill first.
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::neupimsLike(model);
+    applyOptions(cluster, PimphonyOptions::all());
+    std::vector<Request> reqs{{0, 0, 8}, {1, 20000, 8}};
+
+    EngineOptions opts;
+    opts.allocator = AllocatorKind::LazyChunk;
+    opts.stepModel = StepModel::EventDriven;
+    opts.prefillChunkTokens = 2048;
+    auto r = ServingEngine(cluster, model, reqs, opts).run();
+    EXPECT_EQ(r.completedRequests, 2u);
+    EXPECT_EQ(r.generatedTokens, 16u);
+    ASSERT_EQ(r.firstTokenLatency.count(0), 1u);
+    ASSERT_EQ(r.firstTokenLatency.count(1), 1u);
+    EXPECT_GT(r.prefillSeconds, 0.0); // request 1 only
+    EXPECT_LT(r.firstTokenLatency.at(0),
+              0.5 * r.firstTokenLatency.at(1));
+}
+
 TEST(PipelineStage, XpuShadowTrailsPimTimeline)
 {
     PimModuleConfig mcfg;
