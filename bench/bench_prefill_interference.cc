@@ -23,7 +23,8 @@ namespace {
 
 void
 sweep(std::size_t n_requests, Tokens context, Tokens decode,
-      const std::vector<double> &rates, const std::vector<Tokens> &chunks)
+      const std::vector<double> &rates, const std::vector<Tokens> &chunks,
+      const bench::BenchArgs &args)
 {
     auto model = LlmConfig::llm7b(true);
     auto cluster = ClusterConfig::neupimsLike(model);
@@ -40,6 +41,7 @@ sweep(std::size_t n_requests, Tokens context, Tokens decode,
     for (RequestId i = 0; i < n_requests; ++i)
         reqs.push_back({i, context, decode});
 
+    bench::JsonRows json("bench_prefill_interference");
     TablePrinter t({"rate (req/s)", "chunk (tok)", "tok/s",
                     "ttft p95 (s)", "gap p95 (ms)", "prefill (s)"});
     for (double rate : rates) {
@@ -57,9 +59,26 @@ sweep(std::size_t n_requests, Tokens context, Tokens decode,
                       TablePrinter::fmt(r.p95FirstTokenSeconds, 2),
                       TablePrinter::fmt(r.p95TokenGapSeconds * 1e3, 1),
                       TablePrinter::fmt(r.prefillSeconds, 2)});
+            if (args.json) {
+                json.beginRow();
+                json.field("rate_rps", rate);
+                json.field("chunk_tokens",
+                           static_cast<std::uint64_t>(chunk));
+                json.field("tokens_per_second", r.tokensPerSecond);
+                json.field("ttft_p95_s", r.p95FirstTokenSeconds);
+                json.field("gap_p95_s", r.p95TokenGapSeconds);
+                json.field("prefill_s", r.prefillSeconds);
+                json.field("sim_events", r.simEvents);
+            }
         }
     }
     t.print(std::cout);
+    if (args.json) {
+        if (json.writeFile(args.jsonPath))
+            std::cout << "wrote " << args.jsonPath << "\n";
+        else
+            std::cerr << "failed to write " << args.jsonPath << "\n";
+    }
 }
 
 } // namespace
@@ -68,12 +87,12 @@ int
 main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
-    bool smoke = bench::parseBenchArgs(
+    bench::BenchArgs args = bench::parseBenchArgs(
         argc, argv, "chunked prefill vs decode interference sweep");
-    if (smoke)
-        sweep(8, 30000, 16, {1.5}, {0, 30000, 1024});
+    if (args.smoke)
+        sweep(8, 30000, 16, {1.5}, {0, 30000, 1024}, args);
     else
         sweep(32, 30000, 64, {0.5, 1.0, 1.5},
-              {0, 30000, 8192, 2048, 1024, 256});
+              {0, 30000, 8192, 2048, 1024, 256}, args);
     return 0;
 }

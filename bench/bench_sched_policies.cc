@@ -33,7 +33,8 @@ namespace {
 
 void
 sweep(std::size_t n_requests, Tokens decode, Tokens chunk,
-      const std::vector<double> &rates, const std::vector<Tokens> &contexts)
+      const std::vector<double> &rates, const std::vector<Tokens> &contexts,
+      const bench::BenchArgs &args)
 {
     auto model = LlmConfig::llm7b(true);
     auto cluster = ClusterConfig::neupimsLike(model);
@@ -45,6 +46,7 @@ sweep(std::size_t n_requests, Tokens decode, Tokens chunk,
               << " decode tokens, chunk " << chunk
               << " tok, bursty (gamma cv=3) arrivals\n";
 
+    bench::JsonRows json("bench_sched_policies");
     TablePrinter t({"ctx (tok)", "rate (req/s)", "policy", "tok/s",
                     "ttft p95 (s)", "gap p95 (ms)", "fc wait max (ms)",
                     "slices", "defers", "prefill (s)"});
@@ -71,10 +73,32 @@ sweep(std::size_t n_requests, Tokens decode, Tokens chunk,
                           std::to_string(r.chunkSlices),
                           std::to_string(r.sloDeferrals),
                           TablePrinter::fmt(r.prefillSeconds, 2)});
+                if (args.json) {
+                    json.beginRow();
+                    json.field("context_tokens",
+                               static_cast<std::uint64_t>(ctx));
+                    json.field("rate_rps", rate);
+                    json.field("policy", schedPolicyName(kind));
+                    json.field("tokens_per_second", r.tokensPerSecond);
+                    json.field("ttft_p95_s", r.p95FirstTokenSeconds);
+                    json.field("gap_p95_s", r.p95TokenGapSeconds);
+                    json.field("max_decode_xpu_wait_s",
+                               r.maxDecodeXpuWaitSeconds);
+                    json.field("chunk_slices", r.chunkSlices);
+                    json.field("slo_deferrals", r.sloDeferrals);
+                    json.field("prefill_s", r.prefillSeconds);
+                    json.field("sim_events", r.simEvents);
+                }
             }
         }
     }
     t.print(std::cout);
+    if (args.json) {
+        if (json.writeFile(args.jsonPath))
+            std::cout << "wrote " << args.jsonPath << "\n";
+        else
+            std::cerr << "failed to write " << args.jsonPath << "\n";
+    }
 }
 
 } // namespace
@@ -83,12 +107,12 @@ int
 main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
-    bool smoke = bench::parseBenchArgs(
+    bench::BenchArgs args = bench::parseBenchArgs(
         argc, argv,
         "co-scheduling policy sweep (policy x rate x context)");
-    if (smoke)
-        sweep(8, 16, 2048, {1.5}, {30000});
+    if (args.smoke)
+        sweep(8, 16, 2048, {1.5}, {30000}, args);
     else
-        sweep(24, 48, 2048, {0.8, 1.2, 1.6}, {8000, 30000, 60000});
+        sweep(24, 48, 2048, {0.8, 1.2, 1.6}, {8000, 30000, 60000}, args);
     return 0;
 }

@@ -58,13 +58,13 @@ int
 main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
-    bool smoke = bench::parseBenchArgs(
+    bench::BenchArgs args = bench::parseBenchArgs(
         argc, argv, "event-driven vs analytic step-model comparison");
     sweep("Step models, PIM-only, LLM-7B-128K-GQA on multifieldqa",
           SystemKind::PimOnly, LlmConfig::llm7b(true),
-          TraceTask::MultifieldQa, smoke);
+          TraceTask::MultifieldQa, args.smoke);
     sweep("Step models, PIM-only, LLM-7B-32K on QMSum",
           SystemKind::PimOnly, LlmConfig::llm7b(false),
-          TraceTask::QMSum, smoke);
+          TraceTask::QMSum, args.smoke);
     return 0;
 }

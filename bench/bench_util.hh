@@ -1,13 +1,20 @@
 /**
  * @file
- * Shared helpers for the figure/table reproduction harnesses.
+ * Shared helpers for the figure/table reproduction harnesses:
+ * --smoke/--json flag handling, the cumulative technique stacks, and
+ * a minimal machine-readable row writer (BENCH_<name>.json) so CI
+ * and sweep scripts can track the numbers without scraping tables.
  */
 
 #ifndef PIMPHONY_BENCH_BENCH_UTIL_HH
 #define PIMPHONY_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,36 +25,168 @@
 namespace pimphony {
 namespace bench {
 
+struct BenchArgs
+{
+    /** Tiny sweep for CI liveness. */
+    bool smoke = false;
+
+    /** Also emit machine-readable rows to @ref jsonPath. */
+    bool json = false;
+
+    /** Output path for --json (default BENCH_<bench name>.json). */
+    std::string jsonPath;
+};
+
 /**
  * Minimal flag handling for the serving benches: recognizes --smoke
- * (tiny sweep for CI liveness) and --help, and fails loudly — usage
- * on stderr, exit 2 — on anything else, so a typo'd flag cannot
- * silently run the full sweep in CI. @return true when --smoke was
- * given.
+ * (tiny sweep for CI liveness), --json[=PATH] (machine-readable
+ * rows; PATH defaults to BENCH_<name>.json in the working
+ * directory), and --help, and fails loudly — usage on stderr,
+ * exit 2 — on anything else, so a typo'd flag cannot silently run
+ * the full sweep in CI.
  */
-inline bool
+inline BenchArgs
 parseBenchArgs(int argc, char **argv, const char *description)
 {
-    bool smoke = false;
+    BenchArgs out;
+    std::string prog = argc > 0 ? argv[0] : "bench";
+    std::string name = prog;
+    std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    if (name.rfind("bench_", 0) == 0)
+        name = name.substr(6);
+    out.jsonPath = "BENCH_" + name + ".json";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--smoke") {
-            smoke = true;
+            out.smoke = true;
+        } else if (arg == "--json") {
+            out.json = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            out.json = true;
+            out.jsonPath = arg.substr(7);
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << argv[0] << " -- " << description << "\n\n"
-                      << "usage: " << argv[0] << " [--smoke]\n"
-                      << "  --smoke   tiny sweep (CI keeps the harness "
-                         "alive)\n"
-                      << "  --help    this message\n";
+            std::cout << prog << " -- " << description << "\n\n"
+                      << "usage: " << prog
+                      << " [--smoke] [--json[=PATH]]\n"
+                      << "  --smoke        tiny sweep (CI keeps the "
+                         "harness alive)\n"
+                      << "  --json[=PATH]  also write machine-readable "
+                         "rows (default "
+                      << out.jsonPath << ")\n"
+                      << "  --help         this message\n";
             std::exit(0);
         } else {
-            std::cerr << argv[0] << ": unknown flag '" << arg << "'\n"
-                      << "usage: " << argv[0] << " [--smoke|--help]\n";
+            std::cerr << prog << ": unknown flag '" << arg << "'\n"
+                      << "usage: " << prog
+                      << " [--smoke|--json[=PATH]|--help]\n";
             std::exit(2);
         }
     }
-    return smoke;
+    return out;
 }
+
+/**
+ * Machine-readable bench output: a flat array of row objects under
+ * {"bench": ..., "rows": [...]}. Values are written as JSON numbers
+ * (%.17g doubles round-trip) or escaped strings; every row carries
+ * whatever fields its bench chooses, so downstream tooling (the CI
+ * perf compare, sweep plotters) selects by key instead of column
+ * position.
+ */
+class JsonRows
+{
+  public:
+    explicit JsonRows(std::string bench_name)
+        : bench_(std::move(bench_name))
+    {
+    }
+
+    void
+    beginRow()
+    {
+        rows_.emplace_back();
+    }
+
+    void
+    field(const char *key, const std::string &v)
+    {
+        addRaw(key, "\"" + escape(v) + "\"");
+    }
+
+    void
+    field(const char *key, const char *v)
+    {
+        field(key, std::string(v));
+    }
+
+    void
+    field(const char *key, double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        addRaw(key, buf);
+    }
+
+    void
+    field(const char *key, std::uint64_t v)
+    {
+        addRaw(key, std::to_string(v));
+    }
+
+    void
+    field(const char *key, unsigned v)
+    {
+        addRaw(key, std::to_string(v));
+    }
+
+    /** Write {"bench":…,"rows":[…]} to @p path (true on success). */
+    bool
+    writeFile(const std::string &path) const
+    {
+        std::ofstream os(path);
+        if (!os)
+            return false;
+        os << "{\n  \"bench\": \"" << escape(bench_)
+           << "\",\n  \"rows\": [\n";
+        for (std::size_t r = 0; r < rows_.size(); ++r) {
+            os << "    {";
+            const auto &row = rows_[r];
+            for (std::size_t f = 0; f < row.size(); ++f) {
+                os << "\"" << row[f].first << "\": " << row[f].second;
+                if (f + 1 < row.size())
+                    os << ", ";
+            }
+            os << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+        return static_cast<bool>(os);
+    }
+
+  private:
+    void
+    addRaw(const char *key, std::string value)
+    {
+        rows_.back().emplace_back(key, std::move(value));
+    }
+
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::string bench_;
+    std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 /** The four cumulative technique stacks every throughput figure uses. */
 inline std::vector<PimphonyOptions>

@@ -27,6 +27,7 @@ StaticKvAllocator::tryAdmit(RequestId id, Tokens tokens)
         return false;
     reserved_ += reservationBytes();
     tokens_[id] = tokens;
+    totalTokens_ += tokens;
     ++host_;
     return true;
 }
@@ -39,6 +40,7 @@ StaticKvAllocator::grow(RequestId id, Tokens tokens)
         panic("grow on unknown request %u", id);
     if (tokens > tMax_)
         return false; // reservation exhausted
+    totalTokens_ += tokens - it->second;
     it->second = tokens;
     return true; // space was pre-reserved; no host involvement
 }
@@ -49,6 +51,7 @@ StaticKvAllocator::release(RequestId id)
     auto it = tokens_.find(id);
     if (it == tokens_.end())
         panic("release on unknown request %u", id);
+    totalTokens_ -= it->second;
     tokens_.erase(it);
     reserved_ -= reservationBytes();
     ++host_;
@@ -57,10 +60,11 @@ StaticKvAllocator::release(RequestId id)
 Bytes
 StaticKvAllocator::usedBytes() const
 {
-    Bytes used = 0;
-    for (const auto &[id, tok] : tokens_)
-        used += bytesPerToken_ * tok;
-    return used;
+    // Incremental total: the engine reads this per accounting slice,
+    // so the former O(active) walk was a per-cycle cost. Integer
+    // arithmetic distributes, so the product of the running token
+    // sum is exactly the old per-request sum.
+    return bytesPerToken_ * totalTokens_;
 }
 
 // --- LazyChunkAllocator ------------------------------------------------
@@ -91,6 +95,7 @@ LazyChunkAllocator::tryAdmit(RequestId id, Tokens tokens)
     chunksInUse_ += need;
     chunks_[id] = need;
     tokens_[id] = tokens;
+    totalTokens_ += tokens;
     ++host_; // host installs the VA2PA mapping for the new request
     return true;
 }
@@ -101,15 +106,19 @@ LazyChunkAllocator::grow(RequestId id, Tokens tokens)
     auto it = tokens_.find(id);
     if (it == tokens_.end())
         panic("grow on unknown request %u", id);
-    std::uint64_t have = chunks_[id];
+    // One probe for the chunk count: grow runs once per decoded
+    // token, so the repeated operator[] probes showed up at sweep
+    // scale.
+    std::uint64_t &have = chunks_[id];
     std::uint64_t need = chunksFor(tokens);
     if (need > have) {
         if (chunksInUse_ + (need - have) > totalChunks_)
             return false;
         chunksInUse_ += need - have;
-        chunks_[id] = need;
+        have = need;
         ++host_; // chunk-granular: host touched only on new chunks
     }
+    totalTokens_ += tokens - it->second;
     it->second = tokens;
     return true;
 }
@@ -122,6 +131,7 @@ LazyChunkAllocator::release(RequestId id)
         panic("release on unknown request %u", id);
     chunksInUse_ -= chunks_[id];
     chunks_.erase(id);
+    totalTokens_ -= it->second;
     tokens_.erase(it);
     ++host_;
 }
@@ -129,10 +139,8 @@ LazyChunkAllocator::release(RequestId id)
 Bytes
 LazyChunkAllocator::usedBytes() const
 {
-    Bytes used = 0;
-    for (const auto &[id, tok] : tokens_)
-        used += bytesPerToken_ * tok;
-    return used;
+    // Incremental total (see StaticKvAllocator::usedBytes).
+    return bytesPerToken_ * totalTokens_;
 }
 
 std::unique_ptr<KvAllocator>

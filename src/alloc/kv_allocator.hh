@@ -112,6 +112,7 @@ class StaticKvAllocator : public KvAllocator
     Bytes reservationBytes() const { return bytesPerToken_ * tMax_; }
 
     std::unordered_map<RequestId, Tokens> tokens_;
+    Tokens totalTokens_ = 0; ///< running sum of tokens_ values
     Bytes reserved_ = 0;
     std::uint64_t host_ = 0;
 };
@@ -140,6 +141,7 @@ class LazyChunkAllocator : public KvAllocator
 
     Bytes chunk_;
     std::unordered_map<RequestId, Tokens> tokens_;
+    Tokens totalTokens_ = 0; ///< running sum of tokens_ values
     std::unordered_map<RequestId, std::uint64_t> chunks_;
     std::uint64_t chunksInUse_ = 0;
     std::uint64_t totalChunks_;

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -105,6 +106,62 @@ safeRatio(double num, double den)
  * 19th. Returns 0 for an empty sample.
  */
 double nearestRankPercentile(const std::vector<double> &sorted, double p);
+
+/**
+ * Nearest-rank percentile of an *unsorted* sample via
+ * std::nth_element: same rank rule and same result value as
+ * nearestRankPercentile on the sorted sample, at O(n) instead of
+ * O(n log n). @p samples is partially reordered in place. Returns 0
+ * for an empty sample.
+ */
+double nearestRankPercentileInPlace(std::vector<double> &samples,
+                                    double p);
+
+/**
+ * Streaming nearest-rank percentile over a sliding window of the
+ * most recent @p window samples.
+ *
+ * This replaces the serving engine's per-cycle copy+sort of the SLO
+ * token-gap window (O(W log W) per decode cycle) with an O(log W)
+ * update: a ring buffer remembers insertion order for eviction, and
+ * two multisets split the window so that @c low_ always holds
+ * exactly the rank smallest values — the tracked percentile is then
+ * max(low_) in O(1). Values are interchangeable across duplicates,
+ * so evicting "the oldest 5.0" from whichever multiset holds a 5.0
+ * preserves the window as a multiset of values exactly.
+ *
+ * value() matches nearestRankPercentile over a sorted copy of the
+ * last min(window, n) samples bit for bit, including warm-up
+ * (asserted property-style in tests/common_test.cc).
+ */
+class WindowedQuantile
+{
+  public:
+    /** @p percentile in (0, 100]; @p window >= 1. */
+    WindowedQuantile(std::size_t window, double percentile);
+
+    /** Insert @p v, evicting the oldest sample at capacity. */
+    void add(double v);
+
+    /** Samples currently in the window (<= window). */
+    std::size_t size() const { return ring_.size(); }
+
+    /** Nearest-rank percentile of the window; 0 when empty. */
+    double value() const;
+
+    void reset();
+
+  private:
+    /** Move values across the low/high split until |low| == rank. */
+    void rebalance();
+
+    std::size_t window_;
+    double percentile_;
+    std::vector<double> ring_; ///< insertion order, grows to window_
+    std::size_t head_ = 0;     ///< oldest sample's ring slot
+    std::multiset<double> low_;  ///< the rank smallest values
+    std::multiset<double> high_; ///< the rest
+};
 
 } // namespace pimphony
 

@@ -20,9 +20,20 @@ partitioningName(Partitioning p)
 std::vector<std::vector<AttentionJob>>
 assignHfp(std::vector<AttentionJob> jobs, unsigned n_channels)
 {
+    std::vector<std::vector<AttentionJob>> out;
+    assignHfp(jobs, n_channels, out);
+    return out;
+}
+
+void
+assignHfp(const std::vector<AttentionJob> &jobs, unsigned n_channels,
+          std::vector<std::vector<AttentionJob>> &out)
+{
     if (n_channels == 0)
         panic("assignHfp with zero channels");
-    std::vector<std::vector<AttentionJob>> out(n_channels);
+    out.resize(n_channels);
+    for (auto &channel : out)
+        channel.clear();
 
     // Head-first mapping is fixed at compile time: command streams
     // embed physical addresses, so (request, head) pairs land on
@@ -32,7 +43,6 @@ assignHfp(std::vector<AttentionJob> jobs, unsigned n_channels)
     // that conventional PIM lacks (Sec. IV-A).
     for (std::size_t i = 0; i < jobs.size(); ++i)
         out[i % n_channels].push_back(jobs[i]);
-    return out;
 }
 
 Tokens

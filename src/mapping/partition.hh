@@ -52,6 +52,15 @@ struct AttentionJob
 std::vector<std::vector<AttentionJob>>
 assignHfp(std::vector<AttentionJob> jobs, unsigned n_channels);
 
+/**
+ * Allocation-reusing form: fills @p out (resized to @p n_channels,
+ * per-channel lists cleared) with the same assignment. The serving
+ * engine calls this once per decode cycle; reusing the nested
+ * vectors keeps the cycle path allocation-free once warm.
+ */
+void assignHfp(const std::vector<AttentionJob> &jobs, unsigned n_channels,
+               std::vector<std::vector<AttentionJob>> &out);
+
 /** Tokens a single channel processes for @p job under TCP. */
 Tokens tcpSliceTokens(const AttentionJob &job, unsigned n_channels);
 

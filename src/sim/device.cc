@@ -16,14 +16,25 @@ Device::submit(EventQueue &queue, const WorkItem &item, double ready,
     double completion = start + item.seconds;
     busyUntil_ = completion;
     busySeconds_ += item.seconds;
-    queue.schedule(completion,
-                   [this, item, done = std::move(done)](double t) {
-                       ++completed_;
-                       onComplete(item, t);
-                       if (done)
-                           done(t);
-                   });
+    // Completion times on a FIFO timeline are monotone, so the
+    // completion events of this device fire in submission order: the
+    // event only needs the device pointer, and the item + callback
+    // wait in the reusable in-flight ring (no per-event closure
+    // state, no allocation).
+    inflight_.push(InFlight{item, std::move(done)});
+    queue.schedule(completion, [this](double t) { completeFront(t); });
     return completion;
+}
+
+void
+Device::completeFront(double t)
+{
+    InFlight f = std::move(inflight_.front());
+    inflight_.pop();
+    ++completed_;
+    onComplete(f.item, t);
+    if (f.done)
+        f.done(t);
 }
 
 void
@@ -82,8 +93,10 @@ QueuedDevice::pump(EventQueue &queue)
         return;
     double now = queue.now();
 
-    std::vector<const WorkItem *> eligible;
-    std::vector<std::size_t> index;
+    std::vector<const WorkItem *> &eligible = eligibleScratch_;
+    std::vector<std::size_t> &index = indexScratch_;
+    eligible.clear();
+    index.clear();
     double earliest = pending_.front().ready;
     for (std::size_t i = 0; i < pending_.size(); ++i) {
         earliest = std::min(earliest, pending_[i].ready);

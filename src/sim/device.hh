@@ -19,6 +19,13 @@
  * future submissions, QueuedDevice completion times are authoritative
  * only through the completion callback; the submit() return value is
  * a congestion-free estimate.
+ *
+ * Performance contract: completion callbacks are sim::SimFn
+ * (small-buffer, no heap), and a device keeps its in-flight items in
+ * a reusable FIFO ring instead of capturing them in per-event
+ * closures — the FIFO timeline's completion times are monotone, so
+ * completion events pop the ring in order. Steady-state submission
+ * therefore allocates nothing.
  */
 
 #ifndef PIMPHONY_SIM_DEVICE_HH
@@ -26,11 +33,12 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/ring_buffer.hh"
+#include "sim/small_fn.hh"
 #include "sim/work_item.hh"
 
 namespace pimphony {
@@ -39,7 +47,7 @@ namespace sim {
 class Device
 {
   public:
-    using CompletionFn = std::function<void(double /*completion*/)>;
+    using CompletionFn = SimFn;
 
     explicit Device(std::string name) : name_(std::move(name)) {}
     virtual ~Device() = default;
@@ -70,10 +78,20 @@ class Device
     virtual void onComplete(const WorkItem &item, double completion);
 
   private:
+    struct InFlight
+    {
+        WorkItem item;
+        CompletionFn done;
+    };
+
+    /** Completion event handler: pop + notify the oldest item. */
+    void completeFront(double t);
+
     std::string name_;
     double busyUntil_ = 0.0;
     double busySeconds_ = 0.0;
     std::uint64_t completed_ = 0;
+    RingQueue<InFlight> inflight_;
 };
 
 /**
@@ -187,6 +205,9 @@ class QueuedDevice : public Device
 
     const QueueArbiter *arbiter_;
     std::vector<Pending> pending_;
+    /** Per-pump scratch (reused; pump is never re-entered). */
+    std::vector<const WorkItem *> eligibleScratch_;
+    std::vector<std::size_t> indexScratch_;
     bool inService_ = false;
     bool sliceIsFinal_ = false;
     double sliceSeconds_ = 0.0;

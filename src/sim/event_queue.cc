@@ -10,7 +10,38 @@ EventQueue::schedule(double time, Callback fn)
 {
     if (time < now_)
         time = now_;
-    heap_.push(Event{time, seq_++, std::move(fn)});
+    heap_.push_back(Event{time, seq_++, std::move(fn)});
+    siftUp(heap_.size() - 1);
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!earlier(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t l = 2 * i + 1;
+        if (l >= n)
+            break;
+        std::size_t best = l;
+        if (l + 1 < n && earlier(heap_[l + 1], heap_[l]))
+            best = l + 1;
+        if (!earlier(heap_[best], heap_[i]))
+            break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
 }
 
 bool
@@ -18,11 +49,16 @@ EventQueue::runOne()
 {
     if (heap_.empty())
         return false;
-    // priority_queue::top() is const; moving the callback out before
-    // pop avoids copying a std::function per event.
-    Event ev = std::move(const_cast<Event &>(heap_.top()));
-    heap_.pop();
+    Event ev = std::move(heap_.front());
+    if (heap_.size() > 1) {
+        heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        siftDown(0);
+    } else {
+        heap_.pop_back();
+    }
     now_ = ev.time;
+    ++dispatched_;
     ev.fn(ev.time);
     return true;
 }

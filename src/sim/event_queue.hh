@@ -6,15 +6,24 @@
  * per-stage work completions and open-loop request arrivals as
  * events; the queue pops them in (time, insertion-order) order so
  * simultaneous events run FIFO.
+ *
+ * Performance contract (sweep scale): events carry a small-buffer
+ * callback (sim::SimFn) stored inline in the heap's backing vector,
+ * so scheduling and dispatching an event performs no per-event heap
+ * allocation on the common paths — the backing vector reallocates
+ * only on high-water growth and is reusable across runs. The heap
+ * is hand-rolled (binary, (time, seq)-ordered) so push/pop move
+ * events instead of copying their callbacks.
  */
 
 #ifndef PIMPHONY_SIM_EVENT_QUEUE_HH
 #define PIMPHONY_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "sim/small_fn.hh"
 
 namespace pimphony {
 namespace sim {
@@ -22,7 +31,7 @@ namespace sim {
 class EventQueue
 {
   public:
-    using Callback = std::function<void(double /*time*/)>;
+    using Callback = SimFn;
 
     /** Time of the most recently dispatched event. */
     double now() const { return now_; }
@@ -37,8 +46,14 @@ class EventQueue
     bool empty() const { return heap_.empty(); }
     std::size_t pending() const { return heap_.size(); }
 
+    /** Events dispatched so far (throughput accounting). */
+    std::uint64_t dispatched() const { return dispatched_; }
+
     /** Earliest scheduled time (undefined when empty). */
-    double nextTime() const { return heap_.top().time; }
+    double nextTime() const { return heap_.front().time; }
+
+    /** Pre-size the event heap (sweeps with a known high-water). */
+    void reserve(std::size_t events) { heap_.reserve(events); }
 
     /** Dispatch the earliest event. @return false when empty. */
     bool runOne();
@@ -52,20 +67,23 @@ class EventQueue
         double time;
         std::uint64_t seq;
         Callback fn;
-
-        bool
-        operator>(const Event &o) const
-        {
-            if (time != o.time)
-                return time > o.time;
-            return seq > o.seq;
-        }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        heap_;
+    static bool
+    earlier(const Event &a, const Event &b)
+    {
+        if (a.time != b.time)
+            return a.time < b.time;
+        return a.seq < b.seq;
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    std::vector<Event> heap_;
     double now_ = 0.0;
     std::uint64_t seq_ = 0;
+    std::uint64_t dispatched_ = 0;
 };
 
 } // namespace sim

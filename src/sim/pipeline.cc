@@ -7,109 +7,162 @@
 namespace pimphony {
 namespace sim {
 
-namespace {
-
-/**
- * Recursive chain: stage s's completion event submits stage s+1.
- * Deferring each submission to the predecessor's completion keeps
- * per-stage FIFO order consistent with event order, so work queues at
- * a busy stage instead of reserving it in advance. @p first_stage_done
- * (optional) fires at stage 0's completion, which is the hand-off
- * point sequence submission uses to launch the next element.
- */
-void
-chainStages(std::vector<Device *> &stages, EventQueue &queue,
-            std::vector<WorkItem> items, double ready,
-            std::function<void(double)> first_stage_done,
-            std::function<void(double)> done)
+StagePipeline::Chain *
+StagePipeline::acquireChain()
 {
-    using Advance = std::function<void(unsigned, double)>;
-    auto advance = std::make_shared<Advance>();
-    // The stored function holds only a weak reference to itself; the
-    // in-flight completion callbacks hold the strong one, so the
-    // chain frees itself after the last stage completes.
-    std::weak_ptr<Advance> weak = advance;
-    auto held = std::make_shared<std::vector<WorkItem>>(std::move(items));
-    *advance = [&stages, &queue, held, first = std::move(first_stage_done),
-                done = std::move(done), weak](unsigned s, double at) {
-        auto self = weak.lock();
-        WorkItem item = (*held)[s];
-        item.stage = s;
-        bool last = (s + 1 == stages.size());
-        stages[s]->submit(queue, item, at,
-                          [self, s, last, first, done](double completion) {
-                              if (s == 0 && first)
-                                  first(completion);
-                              if (!last)
-                                  (*self)(s + 1, completion);
-                              else if (done)
-                                  done(completion);
-                          });
-    };
-    (*advance)(0, ready);
+    if (freeChains_.empty()) {
+        chains_.push_back(std::make_unique<Chain>());
+        return chains_.back().get();
+    }
+    Chain *ch = freeChains_.back();
+    freeChains_.pop_back();
+    return ch;
 }
 
-} // namespace
+void
+StagePipeline::releaseChain(Chain *ch)
+{
+    ch->stage = 0;
+    ch->firstDone = nullptr;
+    ch->done = nullptr;
+    // items keeps its capacity for the next traversal.
+    freeChains_.push_back(ch);
+}
+
+StagePipeline::Sequence *
+StagePipeline::acquireSequence()
+{
+    if (freeSequences_.empty()) {
+        sequences_.push_back(std::make_unique<Sequence>());
+        return sequences_.back().get();
+    }
+    Sequence *sq = freeSequences_.back();
+    freeSequences_.pop_back();
+    return sq;
+}
+
+void
+StagePipeline::releaseSequence(Sequence *sq)
+{
+    sq->next = 0;
+    sq->done = nullptr;
+    freeSequences_.push_back(sq);
+}
+
+void
+StagePipeline::advanceChain(EventQueue &queue, Chain *ch, double at)
+{
+    unsigned s = ch->stage;
+    WorkItem item = ch->items[s];
+    item.stage = s;
+    // Deferring each stage's submission to its predecessor's
+    // completion keeps per-stage FIFO order consistent with event
+    // order, so work queues at a busy stage instead of reserving it
+    // in advance.
+    stages_[s]->submit(queue, item, at,
+                       [this, ch, &queue](double t) {
+                           onStageComplete(queue, ch, t);
+                       });
+}
+
+void
+StagePipeline::onStageComplete(EventQueue &queue, Chain *ch, double t)
+{
+    unsigned s = ch->stage;
+    if (s == 0 && ch->firstDone) {
+        // The stage-0 hand-off (sequence submission launches the
+        // next element here) runs before this chain advances, so
+        // the next element's stage-0 submission keeps its FIFO slot.
+        CompletionFn first = std::move(ch->firstDone);
+        ch->firstDone = nullptr;
+        first(t);
+    }
+    if (s + 1 < stages_.size()) {
+        ch->stage = s + 1;
+        advanceChain(queue, ch, t);
+    } else {
+        CompletionFn done = std::move(ch->done);
+        releaseChain(ch);
+        if (done)
+            done(t);
+    }
+}
 
 void
 StagePipeline::submitCycle(EventQueue &queue, const WorkItem &base,
-                           double ready, std::function<void(double)> done)
+                           double ready, CompletionFn done)
 {
-    std::vector<WorkItem> items(stages_.size(), base);
-    submitChain(queue, std::move(items), ready, std::move(done));
+    Chain *ch = acquireChain();
+    ch->items.assign(stages_.size(), base);
+    ch->done = std::move(done);
+    advanceChain(queue, ch, ready);
 }
 
 void
 StagePipeline::submitChain(EventQueue &queue,
-                           std::vector<WorkItem> stage_items, double ready,
-                           std::function<void(double)> done)
+                           const std::vector<WorkItem> &stage_items,
+                           double ready, CompletionFn done)
 {
     if (stage_items.size() != stages_.size())
         panic("submitChain with %zu items for %zu stages",
               stage_items.size(), stages_.size());
-    chainStages(stages_, queue, std::move(stage_items), ready, nullptr,
-                std::move(done));
+    Chain *ch = acquireChain();
+    ch->items.assign(stage_items.begin(), stage_items.end());
+    ch->done = std::move(done);
+    advanceChain(queue, ch, ready);
 }
 
 void
-StagePipeline::submitSequence(EventQueue &queue,
-                              std::vector<std::vector<WorkItem>> elements,
-                              double ready,
-                              std::function<void(double)> done)
+StagePipeline::launchElement(EventQueue &queue, Sequence *sq, double at)
+{
+    std::size_t e = sq->next;
+    const std::vector<WorkItem> &element = sq->elements[e];
+    if (element.size() != stages_.size())
+        panic("submitSequence element %zu has %zu items for %zu "
+              "stages",
+              e, element.size(), stages_.size());
+    bool last = (e + 1 == sq->elements.size());
+    Chain *ch = acquireChain();
+    ch->items.assign(element.begin(), element.end());
+    if (last) {
+        // The last element completes the sequence at its last-stage
+        // completion.
+        ch->done = [this, sq](double t) {
+            CompletionFn done = std::move(sq->done);
+            releaseSequence(sq);
+            if (done)
+                done(t);
+        };
+    } else {
+        // Launching element e+1 at e's *stage-0* completion (not the
+        // chain end) pipelines elements across stages while leaving a
+        // FIFO gap other submitters can slot into between elements.
+        sq->next = e + 1;
+        ch->firstDone = [this, sq, &queue](double t) {
+            launchElement(queue, sq, t);
+        };
+    }
+    advanceChain(queue, ch, at);
+}
+
+void
+StagePipeline::submitSequence(
+    EventQueue &queue, const std::vector<std::vector<WorkItem>> &elements,
+    double ready, CompletionFn done)
 {
     if (elements.empty()) {
         if (done)
             queue.schedule(ready, std::move(done));
         return;
     }
-    struct State
-    {
-        std::vector<std::vector<WorkItem>> elements;
-        std::function<void(double)> done;
-    };
-    auto st = std::make_shared<State>();
-    st->elements = std::move(elements);
-    st->done = std::move(done);
-
-    using Launch = std::function<void(std::size_t, double)>;
-    auto launch = std::make_shared<Launch>();
-    std::weak_ptr<Launch> weak = launch;
-    *launch = [this, &queue, st, weak](std::size_t e, double at) {
-        auto self = weak.lock();
-        if (st->elements[e].size() != stages_.size())
-            panic("submitSequence element %zu has %zu items for %zu "
-                  "stages",
-                  e, st->elements[e].size(), stages_.size());
-        bool last = (e + 1 == st->elements.size());
-        // Launching element e+1 at e's *stage-0* completion (not the
-        // chain end) pipelines elements across stages while leaving a
-        // FIFO gap other submitters can slot into between elements.
-        chainStages(stages_, queue, std::move(st->elements[e]), at,
-                    last ? std::function<void(double)>(nullptr)
-                         : [self, e](double t) { (*self)(e + 1, t); },
-                    last ? st->done : nullptr);
-    };
-    (*launch)(0, ready);
+    Sequence *sq = acquireSequence();
+    // Element-wise assign reuses the pooled inner vectors' capacity.
+    sq->elements.resize(elements.size());
+    for (std::size_t e = 0; e < elements.size(); ++e)
+        sq->elements[e].assign(elements[e].begin(), elements[e].end());
+    sq->next = 0;
+    sq->done = std::move(done);
+    launchElement(queue, sq, ready);
 }
 
 } // namespace sim

@@ -21,12 +21,19 @@
  * submit() return value is only an estimate. The pipeline therefore
  * advances chains and sequences exclusively on completion events —
  * the authoritative times under every arbitration policy.
+ *
+ * Performance contract: in-flight chain and sequence state lives in
+ * free lists owned by the pipeline (item vectors keep their
+ * capacity across reuse), and every per-stage completion callback
+ * captures only two pointers. Submitting one decode cycle on the
+ * steady-state path therefore allocates nothing once the pools are
+ * warm — the shared_ptr-per-chain and std::function-per-stage of
+ * the previous design are gone.
  */
 
 #ifndef PIMPHONY_SIM_PIPELINE_HH
 #define PIMPHONY_SIM_PIPELINE_HH
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -40,6 +47,8 @@ namespace sim {
 class StagePipeline
 {
   public:
+    using CompletionFn = Device::CompletionFn;
+
     explicit StagePipeline(std::vector<Device *> stages)
         : stages_(std::move(stages))
     {
@@ -60,16 +69,19 @@ class StagePipeline
      * than @p ready; @p done fires at the last stage's completion.
      */
     void submitCycle(EventQueue &queue, const WorkItem &base,
-                     double ready, std::function<void(double)> done);
+                     double ready, CompletionFn done);
 
     /**
      * Submit one traversal with heterogeneous per-stage items:
      * @p stage_items[s] runs on stage s (stage indexes are stamped
      * here). Size must equal stageCount(). Used for uneven layer
-     * splits, where the last stage owns the layer remainder.
+     * splits, where the last stage owns the layer remainder. The
+     * items are copied into pooled chain storage; the caller's
+     * vector is reusable scratch.
      */
-    void submitChain(EventQueue &queue, std::vector<WorkItem> stage_items,
-                     double ready, std::function<void(double)> done);
+    void submitChain(EventQueue &queue,
+                     const std::vector<WorkItem> &stage_items,
+                     double ready, CompletionFn done);
 
     /**
      * Submit an ordered sequence of traversals (e.g. one request's
@@ -77,14 +89,55 @@ class StagePipeline
      * stage-0 completion, so elements pipeline across stages while
      * later submitters can interleave between them in FIFO order.
      * @p done fires at the last element's last-stage completion.
-     * Empty sequences complete immediately at @p ready.
+     * Empty sequences complete immediately at @p ready. Elements
+     * are copied into pooled sequence storage.
      */
     void submitSequence(EventQueue &queue,
-                        std::vector<std::vector<WorkItem>> elements,
-                        double ready, std::function<void(double)> done);
+                        const std::vector<std::vector<WorkItem>> &elements,
+                        double ready, CompletionFn done);
 
   private:
+    /**
+     * One in-flight traversal. A chain occupies exactly one stage at
+     * a time (stage s+1 is submitted at s's completion event), so a
+     * single cursor tracks progress and the per-stage completion
+     * callback carries only {pipeline, chain}.
+     */
+    struct Chain
+    {
+        std::vector<WorkItem> items;
+        unsigned stage = 0;
+        CompletionFn firstDone; ///< fires at stage-0 completion
+        CompletionFn done;      ///< fires at last-stage completion
+    };
+
+    /** One in-flight sequence of chained elements. */
+    struct Sequence
+    {
+        std::vector<std::vector<WorkItem>> elements;
+        std::size_t next = 0;
+        CompletionFn done;
+    };
+
+    Chain *acquireChain();
+    void releaseChain(Chain *ch);
+    Sequence *acquireSequence();
+    void releaseSequence(Sequence *sq);
+
+    /** Submit chain->items[chain->stage] on its stage device. */
+    void advanceChain(EventQueue &queue, Chain *ch, double at);
+
+    /** Stage-completion continuation for @p ch at time @p t. */
+    void onStageComplete(EventQueue &queue, Chain *ch, double t);
+
+    /** Launch sequence element sq->next as a chain at @p at. */
+    void launchElement(EventQueue &queue, Sequence *sq, double at);
+
     std::vector<Device *> stages_;
+    std::vector<std::unique_ptr<Chain>> chains_;
+    std::vector<Chain *> freeChains_;
+    std::vector<std::unique_ptr<Sequence>> sequences_;
+    std::vector<Sequence *> freeSequences_;
 };
 
 } // namespace sim

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Small-buffer callable for the event-driven core's hot path.
+ *
+ * The simulation kernel dispatches millions of events per sweep; a
+ * std::function per event means a heap allocation per event, which
+ * dominates the scheduling cost long before the device models do.
+ * SmallFn is a move-only type-erased `void(double)` callable with
+ * inline storage sized for the core's callbacks (a device pointer,
+ * an event-queue pointer, and a few scalars or one shared_ptr). A
+ * callable that does not fit falls back to the heap and bumps a
+ * process-wide counter, so tests can assert that the steady-state
+ * decode path never allocates callback storage
+ * (tests/sim_core_test.cc).
+ */
+
+#ifndef PIMPHONY_SIM_SMALL_FN_HH
+#define PIMPHONY_SIM_SMALL_FN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pimphony {
+namespace sim {
+
+namespace detail {
+inline std::uint64_t small_fn_heap_allocs = 0;
+}
+
+/**
+ * Heap fallbacks taken by SmallFn since process start (test hook:
+ * the hot-path tests snapshot this around a run and assert zero
+ * growth).
+ */
+inline std::uint64_t
+smallFnHeapAllocs()
+{
+    return detail::small_fn_heap_allocs;
+}
+
+/**
+ * Move-only `void(double)` callable with @p Capacity bytes of inline
+ * storage. Callables that fit inline (size, alignment, and nothrow
+ * move) never touch the heap; larger ones are boxed and counted via
+ * smallFnHeapAllocs(). Two SmallFns of the same Capacity move into
+ * each other without re-erasing, so handing a stored completion
+ * callback to the event queue is a relocation, not a wrap.
+ */
+template <std::size_t Capacity>
+class SmallFn
+{
+  public:
+    SmallFn() = default;
+    SmallFn(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+    SmallFn(F &&f)
+    {
+        construct(std::forward<F>(f));
+    }
+
+    SmallFn(SmallFn &&o) noexcept { moveFrom(o); }
+
+    SmallFn &
+    operator=(SmallFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    SmallFn &
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()(double t)
+    {
+        ops_->invoke(&buf_, t);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *, double);
+        /**
+         * Move-construct into @p dst from @p src, then destroy src.
+         * Null for trivially-copyable callables: relocation is a
+         * memcpy of the buffer and destruction is a no-op, which
+         * keeps event-heap sifts free of indirect calls (the hot
+         * callbacks capture only raw pointers).
+         */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *); ///< null when trivially destructible
+    };
+
+    template <typename F>
+    void
+    construct(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= Capacity &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_trivially_copyable_v<Fn>) {
+            ::new (static_cast<void *>(&buf_)) Fn(std::forward<F>(f));
+            static const Ops ops = {
+                [](void *b, double t) {
+                    (*std::launder(static_cast<Fn *>(b)))(t);
+                },
+                nullptr,
+                nullptr,
+            };
+            ops_ = &ops;
+        } else if constexpr (sizeof(Fn) <= Capacity &&
+                             alignof(Fn) <= alignof(std::max_align_t) &&
+                             std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(&buf_)) Fn(std::forward<F>(f));
+            static const Ops ops = {
+                [](void *b, double t) {
+                    (*std::launder(static_cast<Fn *>(b)))(t);
+                },
+                [](void *dst, void *src) {
+                    Fn *s = std::launder(static_cast<Fn *>(src));
+                    ::new (dst) Fn(std::move(*s));
+                    s->~Fn();
+                },
+                [](void *b) {
+                    std::launder(static_cast<Fn *>(b))->~Fn();
+                },
+            };
+            ops_ = &ops;
+        } else {
+            ++detail::small_fn_heap_allocs;
+            ::new (static_cast<void *>(&buf_))
+                Fn *(new Fn(std::forward<F>(f)));
+            static const Ops ops = {
+                [](void *b, double t) {
+                    (**std::launder(static_cast<Fn **>(b)))(t);
+                },
+                [](void *dst, void *src) {
+                    Fn **s = std::launder(static_cast<Fn **>(src));
+                    ::new (dst) Fn *(*s);
+                },
+                [](void *b) {
+                    delete *std::launder(static_cast<Fn **>(b));
+                },
+            };
+            ops_ = &ops;
+        }
+    }
+
+    void
+    moveFrom(SmallFn &o) noexcept
+    {
+        ops_ = o.ops_;
+        if (ops_) {
+            if (ops_->relocate)
+                ops_->relocate(&buf_, &o.buf_);
+            else
+                std::memcpy(&buf_, &o.buf_, Capacity);
+            o.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset()
+    {
+        if (ops_) {
+            if (ops_->destroy)
+                ops_->destroy(&buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+/**
+ * Callback capacity for the sim core. Sized so every callback on the
+ * steady-state decode path fits inline: the largest is the engine's
+ * prefill-completion continuation (four captured references plus one
+ * shared_ptr = 48 bytes). Event callbacks and device completion
+ * callbacks share the type, so stored callbacks relocate into the
+ * event queue without re-erasure.
+ */
+inline constexpr std::size_t kSimFnCapacity = 64;
+
+using SimFn = SmallFn<kSimFnCapacity>;
+
+} // namespace sim
+} // namespace pimphony
+
+#endif // PIMPHONY_SIM_SMALL_FN_HH

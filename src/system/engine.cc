@@ -52,6 +52,17 @@ ServingEngine::ServingEngine(const ClusterConfig &cluster,
     module_ = std::make_unique<PimModuleModel>(cluster_.module);
     xpu_ = std::make_unique<XpuModel>(cluster_.xpu);
     sortByArrival(requests);
+    // Pre-size the sample accumulators from the workload: one
+    // latency and TTFT sample per request, and at most one gap per
+    // decoded token after the first — the push_back paths then never
+    // reallocate mid-run.
+    Tokens total_decode = 0;
+    for (const auto &r : requests)
+        total_decode += r.request.decodeTokens;
+    latencies_.reserve(requests.size());
+    firstTokenLatencies_.reserve(requests.size());
+    tokenGaps_.reserve(total_decode);
+    result_.firstTokenLatency.reserve(requests.size());
     for (auto &r : requests)
         pending_.push_back(r);
 }
@@ -106,7 +117,10 @@ ServingEngine::advanceMember(Active &a, double completion_clock,
         if (result_.firstTokenLatency.emplace(a.request.id, ttft).second)
             firstTokenLatencies_.push_back(ttft);
     } else if (a.lastTokenAt >= 0.0) {
-        tokenGaps_.push_back(completion_clock - a.lastTokenAt);
+        double gap = completion_clock - a.lastTokenAt;
+        tokenGaps_.push_back(gap);
+        if (gapWindow_)
+            gapWindow_->add(gap);
     }
     a.lastTokenAt = completion_clock;
     if (a.generated >= a.request.decodeTokens) {
@@ -154,7 +168,8 @@ ServingEngine::planCohortCycle(const Active *begin, const Active *end)
     // partial reduction folds into the EPU path.
     const unsigned seq_split = tp > kvh ? tp / kvh : 1;
 
-    std::vector<AttentionJob> jobs;
+    std::vector<AttentionJob> &jobs = jobsScratch_;
+    jobs.clear();
     jobs.reserve(batch * jobs_per_req);
     for (const Active *it = begin; it != end; ++it) {
         const Active &a = *it;
@@ -212,11 +227,10 @@ ServingEngine::planCohortCycle(const Active *begin, const Active *end)
 
 void
 ServingEngine::accountCycle(const CyclePlan &plan, double span_cycles,
-                            std::vector<double> &busy_acc,
-                            std::vector<double> &span_acc)
+                            ChannelAccum &acc)
 {
-    busy_acc.push_back(plan.busyChannelCycles);
-    span_acc.push_back(span_cycles);
+    acc.busyCycles += plan.busyChannelCycles;
+    acc.spanCycles += span_cycles;
 
     double spc = cluster_.module.timing.secondsPerCycle();
     double busy_span_cycles =
@@ -244,8 +258,7 @@ ServingEngine::accountCycle(const CyclePlan &plan, double span_cycles,
 }
 
 double
-ServingEngine::stepSeconds(std::vector<double> &busy_acc,
-                           std::vector<double> &span_acc)
+ServingEngine::stepSeconds(ChannelAccum &acc)
 {
     const unsigned pp = cluster_.plan.pp;
     const std::uint32_t batch =
@@ -280,8 +293,8 @@ ServingEngine::stepSeconds(std::vector<double> &busy_acc,
     double spc = cluster_.module.timing.secondsPerCycle();
     double span = step_sec / spc * cluster_.module.nChannels *
                   cluster_.nModules;
-    busy_acc.push_back(step_busy);
-    span_acc.push_back(span);
+    acc.busyCycles += step_busy;
+    acc.spanCycles += span;
 
     double busy_span_cycles =
         (step_att_sec + (cluster_.kind == SystemKind::PimOnly
@@ -317,7 +330,7 @@ ServingEngine::run()
 EngineResult
 ServingEngine::runAnalytic()
 {
-    std::vector<double> busy_acc, span_acc;
+    ChannelAccum acc;
     double batch_time = 0.0;   // integral of batch over time
     double capacity_time = 0.0;
 
@@ -344,26 +357,31 @@ ServingEngine::runAnalytic()
             continue;
         }
 
-        double sec = stepSeconds(busy_acc, span_acc);
+        double sec = stepSeconds(acc);
         result_.simulatedSeconds += sec;
         batch_time += sec * static_cast<double>(active_.size());
         capacity_time += sec * allocator_->capacityUtilization();
 
-        // Advance every active request by one token.
-        std::vector<Active> next;
-        next.reserve(active_.size());
-        for (auto &a : active_) {
-            if (advanceMember(a, result_.simulatedSeconds, pending_))
-                next.push_back(a);
+        // Advance every active request by one token, compacting the
+        // survivors in place (same order as the former copy into a
+        // fresh vector, without the per-step allocation).
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < active_.size(); ++i) {
+            if (advanceMember(active_[i], result_.simulatedSeconds,
+                              pending_)) {
+                if (keep != i)
+                    active_[keep] = std::move(active_[i]);
+                ++keep;
+            }
         }
-        active_ = std::move(next);
+        active_.resize(keep);
         admit();
     }
     if (steps >= options_.maxSteps)
         warn("engine stopped at the step cap (%llu)",
              static_cast<unsigned long long>(options_.maxSteps));
 
-    finalizeResult(busy_acc, span_acc, batch_time, capacity_time);
+    finalizeResult(acc, batch_time, capacity_time);
     return result_;
 }
 
@@ -380,6 +398,12 @@ ServingEngine::runEventDriven()
     // policies keep the plain reservation arithmetic) plus the
     // SLO admission gate consulted below.
     std::unique_ptr<SchedPolicy> policy = makeSchedPolicy(options_.sched);
+    // Policies steering on the gap signal read a streaming windowed
+    // p95 (fed by advanceMember) instead of copying and sorting the
+    // window every decode cycle.
+    if (policy->needsGapSignal() && options_.sched.sloWindow > 0)
+        gapWindow_ = std::make_unique<WindowedQuantile>(
+            options_.sched.sloWindow, 95.0);
     // Every stage carries an xPU timeline: in XpuPim mode it serves
     // decode FC shares and prefill chunks; in PimOnly mode only the
     // prefill chunks (the PNM compute engines) land there.
@@ -394,7 +418,7 @@ ServingEngine::runEventDriven()
         std::vector<Active> members;
     };
 
-    std::vector<double> busy_acc, span_acc;
+    ChannelAccum acc;
     double batch_time = 0.0;
     double capacity_time = 0.0;
     double last_account = 0.0;
@@ -403,6 +427,11 @@ ServingEngine::runEventDriven()
     std::list<Cohort> cohorts; // in flight; list keeps addresses stable
     std::deque<TimedRequest> arrived;
     std::vector<Active> ready_pool; // admitted, waiting for a cohort
+    ready_pool.reserve(pending_.size());
+    // Per-cycle scratch reused across every startCycle/startPrefill
+    // call (the submit APIs copy into pooled storage).
+    std::vector<sim::WorkItem> cycle_items;
+    std::vector<std::vector<sim::WorkItem>> seq_scratch;
     std::uint64_t prefilling = 0;   // admitted, prefill chunks in flight
     std::uint32_t next_cohort_id = 0;
     std::uint64_t cycles = 0;
@@ -464,10 +493,10 @@ ServingEngine::runEventDriven()
         double engine_scale =
             static_cast<double>(cluster_.prefillEngines()) / tp;
         double layers_total = stageLayersTotal(model_.nLayers, pp);
-        std::vector<std::vector<sim::WorkItem>> seq;
-        seq.reserve(chunk_secs.size());
+        seq_scratch.resize(chunk_secs.size());
         for (std::size_t k = 0; k < chunk_secs.size(); ++k) {
-            std::vector<sim::WorkItem> row(pp);
+            std::vector<sim::WorkItem> &row = seq_scratch[k];
+            row.assign(pp, sim::WorkItem{});
             for (unsigned s = 0; s < pp; ++s) {
                 row[s].kind = sim::WorkItem::Kind::PrefillChunk;
                 row[s].request = a.request.id;
@@ -476,12 +505,11 @@ ServingEngine::runEventDriven()
                                  stageLayers(model_.nLayers, pp, s) /
                                  layers_total;
             }
-            seq.push_back(std::move(row));
         }
         ++prefilling;
         auto holder = std::make_shared<Active>(std::move(a));
         stages.pipeline().submitSequence(
-            queue, std::move(seq), now, [&, holder](double t) {
+            queue, seq_scratch, now, [&, holder](double t) {
                 --prefilling;
                 accountTo(t);
                 ready_pool.push_back(std::move(*holder));
@@ -490,17 +518,14 @@ ServingEngine::runEventDriven()
     };
 
     // SLO feedback: nearest-rank p95 over the most recent window of
-    // decode token gaps — the signal the SloAdmission gate steers on.
+    // decode token gaps — the signal the SloAdmission gate steers
+    // on. The windowed quantile streams the same value in O(log W)
+    // per gap instead of copy+sort per admission check.
     auto recentGapP95 = [&]() {
-        std::size_t window = std::min<std::size_t>(
-            options_.sched.sloWindow, tokenGaps_.size());
-        if (window == 0)
-            return 0.0;
-        std::vector<double> recent(tokenGaps_.end() -
-                                       static_cast<std::ptrdiff_t>(window),
-                                   tokenGaps_.end());
-        std::sort(recent.begin(), recent.end());
-        return nearestRankPercentile(recent, 95.0);
+        return gapWindow_ ? gapWindow_->value() : 0.0;
+    };
+    auto gapSamples = [&]() -> std::size_t {
+        return gapWindow_ ? gapWindow_->size() : 0;
     };
 
     // Admission under the same per-request rules as the analytic
@@ -514,9 +539,7 @@ ServingEngine::runEventDriven()
             if (chunked && arrived.front().request.contextTokens > 0 &&
                 !policy->admitPrefill(
                     policy->needsGapSignal() ? recentGapP95() : 0.0,
-                    std::min<std::size_t>(options_.sched.sloWindow,
-                                          tokenGaps_.size()),
-                    inFlightCount() > 0)) {
+                    gapSamples(), inFlightCount() > 0)) {
                 ++result_.sloDeferrals;
                 break;
             }
@@ -544,20 +567,20 @@ ServingEngine::runEventDriven()
             c.members.data(), c.members.data() + c.members.size());
         double span_cycles = plan.layerSeconds * plan.layersTotal /
                              spc * cluster_.module.nChannels * tp;
-        accountCycle(plan, span_cycles, busy_acc, span_acc);
+        accountCycle(plan, span_cycles, acc);
 
-        std::vector<sim::WorkItem> items(pp);
+        cycle_items.assign(pp, sim::WorkItem{});
         for (unsigned s = 0; s < pp; ++s) {
             unsigned layers = stageLayers(model_.nLayers, pp, s);
-            items[s].cohort = c.id;
-            items[s].cycle = c.cycle;
-            items[s].seconds = plan.layerSeconds * layers;
-            items[s].fcSeconds = plan.fcLayerSeconds * layers;
+            cycle_items[s].cohort = c.id;
+            cycle_items[s].cycle = c.cycle;
+            cycle_items[s].seconds = plan.layerSeconds * layers;
+            cycle_items[s].fcSeconds = plan.fcLayerSeconds * layers;
         }
         ++c.cycle;
         Cohort *cohort = &c;
         stages.pipeline().submitChain(
-            queue, std::move(items), ready,
+            queue, cycle_items, ready,
             [&onCycleComplete, cohort](double t) {
                 onCycleComplete(*cohort, t);
             });
@@ -566,14 +589,17 @@ ServingEngine::runEventDriven()
     onCycleComplete = [&](Cohort &c, double t) {
         accountTo(t);
 
-        // Advance every cohort member by one token.
-        std::vector<Active> next;
-        next.reserve(c.members.size());
-        for (auto &a : c.members) {
-            if (advanceMember(a, t, arrived))
-                next.push_back(a);
+        // Advance every cohort member by one token, compacting the
+        // survivors in place (order preserved, no allocation).
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < c.members.size(); ++i) {
+            if (advanceMember(c.members[i], t, arrived)) {
+                if (keep != i)
+                    c.members[keep] = std::move(c.members[i]);
+                ++keep;
+            }
         }
-        c.members = std::move(next);
+        c.members.resize(keep);
 
         ++cycles;
         if (cycles >= options_.maxSteps)
@@ -672,11 +698,13 @@ ServingEngine::runEventDriven()
             future.pop_front();
         }
         if (!future.empty())
-            queue.schedule(future.front().arrivalSeconds, onArrival);
+            queue.schedule(future.front().arrivalSeconds,
+                           [&onArrival](double at) { onArrival(at); });
         formNewCohorts(t);
     };
     if (!future.empty())
-        queue.schedule(future.front().arrivalSeconds, onArrival);
+        queue.schedule(future.front().arrivalSeconds,
+                       [&onArrival](double at) { onArrival(at); });
 
     formNewCohorts(0.0);
     queue.runAll();
@@ -699,14 +727,14 @@ ServingEngine::runEventDriven()
     }
 
     result_.simulatedSeconds = end_time;
-    finalizeResult(busy_acc, span_acc, batch_time, capacity_time);
+    result_.simEvents = queue.dispatched();
+    finalizeResult(acc, batch_time, capacity_time);
     return result_;
 }
 
 void
-ServingEngine::finalizeResult(const std::vector<double> &busy_acc,
-                              const std::vector<double> &span_acc,
-                              double batch_time, double capacity_time)
+ServingEngine::finalizeResult(const ChannelAccum &acc, double batch_time,
+                              double capacity_time)
 {
     if (result_.simulatedSeconds > 0.0) {
         result_.tokensPerSecond =
@@ -717,23 +745,24 @@ ServingEngine::finalizeResult(const std::vector<double> &busy_acc,
         result_.capacityUtilization =
             capacity_time / result_.simulatedSeconds;
     }
-    double busy = 0.0, span = 0.0;
-    for (double b : busy_acc)
-        busy += b;
-    for (double s : span_acc)
-        span += s;
-    result_.macUtilization = safeRatio(busy, span);
+    result_.macUtilization = safeRatio(acc.busyCycles, acc.spanCycles);
 
+    // O(n) summaries: a running sum for the average (accumulated in
+    // sample-production order) and one nth_element for the
+    // nearest-rank p95 — the former sort-the-whole-vector pass is
+    // the dominant finalize cost at sweep scale. The p95 is the
+    // exact order statistic the sorted path produced; the average
+    // now rounds in insertion order rather than ascending order
+    // (same value to ~1 ulp per thousand samples).
     auto summarize = [](std::vector<double> &samples, double &avg,
                         double &p95) {
         if (samples.empty())
             return;
-        std::sort(samples.begin(), samples.end());
         double sum = 0.0;
         for (double s : samples)
             sum += s;
         avg = sum / static_cast<double>(samples.size());
-        p95 = nearestRankPercentile(samples, 95.0);
+        p95 = nearestRankPercentileInPlace(samples, 95.0);
     };
     summarize(latencies_, result_.avgRequestLatency,
               result_.p95RequestLatency);

@@ -39,6 +39,8 @@
 #include <vector>
 
 #include "alloc/kv_allocator.hh"
+#include "common/stats.hh"
+#include "mapping/partition.hh"
 #include "system/cluster.hh"
 #include "system/sched_policy.hh"
 #include "workload/arrival.hh"
@@ -168,6 +170,14 @@ struct EngineResult
      * work.
      */
     double xpuPrefillBusySeconds = 0.0;
+
+    /**
+     * Events dispatched by the event-driven core (0 under the
+     * analytic model). Deterministic for a given configuration and
+     * seed; bench_simperf divides it by wall time for the
+     * events-per-second trajectory metric.
+     */
+    std::uint64_t simEvents = 0;
 };
 
 class ServingEngine
@@ -232,6 +242,19 @@ class ServingEngine
         EnergyBreakdown fcEnergy;
     };
 
+    /**
+     * Running channel-cycle totals for MAC utilization. Both step
+     * models add one (busy, span) pair per cycle/step in simulation
+     * order, so the scalar sums round exactly as the former
+     * per-cycle vectors summed at finalize did — without growing a
+     * vector per cycle.
+     */
+    struct ChannelAccum
+    {
+        double busyCycles = 0.0;
+        double spanCycles = 0.0;
+    };
+
     /** Admit arrived pending requests while memory allows. */
     void admit();
 
@@ -265,18 +288,15 @@ class ServingEngine
      * channel occupancy) into the running result.
      */
     void accountCycle(const CyclePlan &plan, double span_cycles,
-                      std::vector<double> &busy_acc,
-                      std::vector<double> &span_acc);
+                      ChannelAccum &acc);
 
     /** Seconds for one lockstep decode step of the active set. */
-    double stepSeconds(std::vector<double> &busy_acc,
-                       std::vector<double> &span_acc);
+    double stepSeconds(ChannelAccum &acc);
 
     EngineResult runAnalytic();
     EngineResult runEventDriven();
-    void finalizeResult(const std::vector<double> &busy_acc,
-                        const std::vector<double> &span_acc,
-                        double batch_time, double capacity_time);
+    void finalizeResult(const ChannelAccum &acc, double batch_time,
+                        double capacity_time);
 
     ClusterConfig cluster_;
     LlmConfig model_;
@@ -289,6 +309,20 @@ class ServingEngine
     std::vector<double> latencies_;
     std::vector<double> firstTokenLatencies_;
     std::vector<double> tokenGaps_;
+
+    /**
+     * Streaming p95 over the sliding SLO window of decode token
+     * gaps; allocated in runEventDriven only when the policy steers
+     * on the gap signal. advanceMember feeds it as gaps are
+     * produced, so the admission gate reads the windowed percentile
+     * in O(1) instead of copying and sorting the window per decode
+     * cycle.
+     */
+    std::unique_ptr<WindowedQuantile> gapWindow_;
+
+    /** Per-cycle scratch for planCohortCycle's attention jobs. */
+    std::vector<AttentionJob> jobsScratch_;
+
     EngineResult result_;
 };
 

@@ -41,6 +41,35 @@ PimModuleModel::attentionKernel(KernelKind kind, Tokens tokens,
     return cache_.get(req);
 }
 
+const PimModuleModel::AttnJobCost &
+PimModuleModel::attentionJobCost(Tokens bucketed, const LlmConfig &model)
+{
+    // One serving run reuses one model; a geometry change (different
+    // LlmConfig against the same module model) drops the memo. The
+    // kernel cache itself keys on the full descriptor and is
+    // unaffected.
+    if (attnMemoHeadDim_ != model.headDim ||
+        attnMemoGqa_ != model.gqaGroup) {
+        attnMemo_.clear();
+        attnMemoHeadDim_ = model.headDim;
+        attnMemoGqa_ = model.gqaGroup;
+    }
+    auto it = attnMemo_.find(bucketed);
+    if (it != attnMemo_.end())
+        return it->second;
+
+    AttnJobCost cost;
+    cost.qkt = &attentionKernel(KernelKind::Qkt, bucketed, model);
+    cost.sv = &attentionKernel(KernelKind::Sv, bucketed, model);
+    cost.qktEnergy = kernelEnergy(*cost.qkt, energyParams_);
+    cost.svEnergy = kernelEnergy(*cost.sv, energyParams_);
+    cost.qktEnergyCh = cost.qktEnergy.scaled(config_.nChannels);
+    cost.svEnergyCh = cost.svEnergy.scaled(config_.nChannels);
+    // Kernel-cache values live in node-based storage, so the
+    // ScheduleResult pointers stay valid across rehashes.
+    return attnMemo_.emplace(bucketed, cost).first->second;
+}
+
 PhaseResult
 PimModuleModel::attentionLayer(const std::vector<AttentionJob> &jobs,
                                const LlmConfig &model)
@@ -61,24 +90,35 @@ PimModuleModel::attentionLayer(const std::vector<AttentionJob> &jobs,
         // negligible).
         double kernel_cycles = 0.0;
         double epu_cycles = 0.0;
+        // A batch expands each request into gqa-group jobs with the
+        // same token count, so consecutive jobs usually repeat: a
+        // last-value cache turns the per-job memo probe + EPU
+        // formula into a comparison (accumulation stays per-job so
+        // the sums round exactly as before).
+        Tokens last_tokens = 0;
+        const AttnJobCost *c = nullptr;
+        double epu_cached = 0.0;
         for (const auto &job : jobs) {
-            Tokens slice = tcpSliceTokens(job, n_ch);
-            const auto &qkt =
-                attentionKernel(KernelKind::Qkt, slice, model);
-            const auto &sv = attentionKernel(KernelKind::Sv, slice, model);
-            Cycle epu = epu_.softmaxCycles(job.tokens) *
-                        model.gqaGroup;
-            epu += epu_.reduceCycles(n_ch, static_cast<std::uint64_t>(
-                                               model.headDim) *
-                                               model.gqaGroup);
-            kernel_cycles += static_cast<double>(qkt.makespan) +
-                             static_cast<double>(sv.makespan);
-            epu_cycles += static_cast<double>(epu);
+            if (!c || job.tokens != last_tokens) {
+                Tokens slice = tcpSliceTokens(job, n_ch);
+                c = &attentionJobCost(bucketTokens(slice), model);
+                Cycle epu = epu_.softmaxCycles(job.tokens) *
+                            model.gqaGroup;
+                epu += epu_.reduceCycles(
+                    n_ch, static_cast<std::uint64_t>(model.headDim) *
+                              model.gqaGroup);
+                epu_cached = static_cast<double>(epu);
+                last_tokens = job.tokens;
+            }
+            kernel_cycles += static_cast<double>(c->qkt->makespan) +
+                             static_cast<double>(c->sv->makespan);
+            epu_cycles += epu_cached;
             out.busyChannelCycles +=
-                static_cast<double>(qkt.macBusyCycles + sv.macBusyCycles) *
+                static_cast<double>(c->qkt->macBusyCycles +
+                                    c->sv->macBusyCycles) *
                 n_ch;
-            out.energy += kernelEnergy(qkt, energyParams_).scaled(n_ch);
-            out.energy += kernelEnergy(sv, energyParams_).scaled(n_ch);
+            out.energy += c->qktEnergyCh;
+            out.energy += c->svEnergyCh;
         }
         double total_cycles = std::max(kernel_cycles, epu_cycles);
         out.seconds = total_cycles * spc;
@@ -87,43 +127,42 @@ PimModuleModel::attentionLayer(const std::vector<AttentionJob> &jobs,
     }
 
     // HFP: whole jobs on single channels; module waits for the
-    // slowest channel.
-    auto assignment = assignHfp(jobs, n_ch);
+    // slowest channel. One pass accumulates both the per-channel
+    // makespans and the kernel-busy span the idle-background charge
+    // needs (the memo makes each job one table probe).
+    assignHfp(jobs, n_ch, hfpScratch_);
     double max_cycles = 0.0;
-    for (const auto &channel_jobs : assignment) {
+    double busy_span = 0.0;
+    Tokens last_tokens = 0;
+    const AttnJobCost *c = nullptr;
+    double epu_cached = 0.0;
+    for (const auto &channel_jobs : hfpScratch_) {
         double ch_cycles = 0.0;
+        double ch_kernel_cycles = 0.0;
         for (const auto &job : channel_jobs) {
-            const auto &qkt =
-                attentionKernel(KernelKind::Qkt, job.tokens, model);
-            const auto &sv =
-                attentionKernel(KernelKind::Sv, job.tokens, model);
-            Cycle epu =
-                epu_.softmaxCycles(job.tokens) * model.gqaGroup;
-            ch_cycles += static_cast<double>(qkt.makespan) +
-                         static_cast<double>(sv.makespan) +
-                         static_cast<double>(epu);
+            if (!c || job.tokens != last_tokens) {
+                c = &attentionJobCost(bucketTokens(job.tokens), model);
+                epu_cached = static_cast<double>(
+                    epu_.softmaxCycles(job.tokens) * model.gqaGroup);
+                last_tokens = job.tokens;
+            }
+            ch_cycles += static_cast<double>(c->qkt->makespan) +
+                         static_cast<double>(c->sv->makespan) +
+                         epu_cached;
+            ch_kernel_cycles += static_cast<double>(c->qkt->makespan +
+                                                    c->sv->makespan);
             out.busyChannelCycles +=
-                static_cast<double>(qkt.macBusyCycles + sv.macBusyCycles);
-            out.energy += kernelEnergy(qkt, energyParams_);
-            out.energy += kernelEnergy(sv, energyParams_);
+                static_cast<double>(c->qkt->macBusyCycles +
+                                    c->sv->macBusyCycles);
+            out.energy += c->qktEnergy;
+            out.energy += c->svEnergy;
         }
         max_cycles = std::max(max_cycles, ch_cycles);
+        busy_span += ch_kernel_cycles;
     }
     out.seconds = max_cycles * spc;
     out.spanChannelCycles = max_cycles * n_ch;
     // Idle channels still burn background power for the span.
-    double busy_span = 0.0;
-    for (const auto &channel_jobs : assignment) {
-        double ch_cycles = 0.0;
-        for (const auto &job : channel_jobs) {
-            const auto &qkt =
-                attentionKernel(KernelKind::Qkt, job.tokens, model);
-            const auto &sv =
-                attentionKernel(KernelKind::Sv, job.tokens, model);
-            ch_cycles += static_cast<double>(qkt.makespan + sv.makespan);
-        }
-        busy_span += ch_cycles;
-    }
     double idle = max_cycles * n_ch - busy_span;
     if (idle > 0)
         out.energy += backgroundEnergy(static_cast<Cycle>(idle), 1,
@@ -140,41 +179,56 @@ PimModuleModel::fcLayer(std::uint32_t batch, const LlmConfig &model,
         return out;
     const double spc = config_.timing.secondsPerCycle();
     const unsigned n_ch = config_.nChannels;
-    const unsigned shard = n_ch * std::max(1u, tp);
 
-    // The decoder layer's linear stack (Q, K, V, O, gate, up, down).
-    std::uint64_t kv_dim =
-        static_cast<std::uint64_t>(model.kvHeads()) * model.headDim;
-    struct Op { std::uint64_t dout, din; };
-    const Op ops[] = {
-        {model.dModel, model.dModel},          // Q
-        {kv_dim, model.dModel},                // K
-        {kv_dim, model.dModel},                // V
-        {model.dModel, model.dModel},          // O
-        {model.dFfn, model.dModel},            // gate
-        {model.dFfn, model.dModel},            // up
-        {model.dModel, model.dFfn},            // down
-    };
+    // The per-request linear-stack cost depends only on the model
+    // dims and the TP shard, both fixed across a serving run: memoize
+    // it so the per-cycle call is arithmetic on cached sums instead
+    // of seven kernel-cache lookups (values identical bit for bit).
+    if (!fcMemo_.valid || fcMemo_.dModel != model.dModel ||
+        fcMemo_.dFfn != model.dFfn || fcMemo_.kvHeads != model.kvHeads() ||
+        fcMemo_.headDim != model.headDim || fcMemo_.tp != tp) {
+        const unsigned shard = n_ch * std::max(1u, tp);
 
-    double cycles_per_request = 0.0;
-    double busy_per_request = 0.0;
-    EnergyBreakdown energy_per_request;
-    for (const auto &op : ops) {
-        std::uint64_t dout_ch = std::max<std::uint64_t>(16,
-                                                        op.dout / shard);
-        GemvSpec spec = GemvSpec::fromDims(dout_ch, op.din);
-        const auto &r = cache_.get(
-            KernelRequest::makeGemv(spec, config_.scheduler));
-        cycles_per_request += static_cast<double>(r.makespan);
-        busy_per_request += static_cast<double>(r.macBusyCycles);
-        energy_per_request += kernelEnergy(r, energyParams_);
+        // The decoder layer's linear stack (Q, K, V, O, gate, up,
+        // down).
+        std::uint64_t kv_dim =
+            static_cast<std::uint64_t>(model.kvHeads()) * model.headDim;
+        struct Op { std::uint64_t dout, din; };
+        const Op ops[] = {
+            {model.dModel, model.dModel},          // Q
+            {kv_dim, model.dModel},                // K
+            {kv_dim, model.dModel},                // V
+            {model.dModel, model.dModel},          // O
+            {model.dFfn, model.dModel},            // gate
+            {model.dFfn, model.dModel},            // up
+            {model.dModel, model.dFfn},            // down
+        };
+
+        fcMemo_ = FcCost{};
+        for (const auto &op : ops) {
+            std::uint64_t dout_ch =
+                std::max<std::uint64_t>(16, op.dout / shard);
+            GemvSpec spec = GemvSpec::fromDims(dout_ch, op.din);
+            const auto &r = cache_.get(
+                KernelRequest::makeGemv(spec, config_.scheduler));
+            fcMemo_.cyclesPerRequest += static_cast<double>(r.makespan);
+            fcMemo_.busyPerRequest +=
+                static_cast<double>(r.macBusyCycles);
+            fcMemo_.energyPerRequest += kernelEnergy(r, energyParams_);
+        }
+        fcMemo_.valid = true;
+        fcMemo_.dModel = model.dModel;
+        fcMemo_.dFfn = model.dFfn;
+        fcMemo_.kvHeads = model.kvHeads();
+        fcMemo_.headDim = model.headDim;
+        fcMemo_.tp = tp;
     }
 
-    out.seconds = cycles_per_request * batch * spc;
-    out.busyChannelCycles = busy_per_request * batch * n_ch;
-    out.spanChannelCycles = cycles_per_request * batch * n_ch;
-    out.energy = energy_per_request.scaled(static_cast<double>(batch) *
-                                           n_ch);
+    out.seconds = fcMemo_.cyclesPerRequest * batch * spc;
+    out.busyChannelCycles = fcMemo_.busyPerRequest * batch * n_ch;
+    out.spanChannelCycles = fcMemo_.cyclesPerRequest * batch * n_ch;
+    out.energy = fcMemo_.energyPerRequest.scaled(
+        static_cast<double>(batch) * n_ch);
     return out;
 }
 

@@ -9,6 +9,7 @@
 #define PIMPHONY_SYSTEM_PIM_MODULE_HH
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "dram/timing.hh"
@@ -86,10 +87,56 @@ class PimModuleModel
     const ScheduleResult &attentionKernel(KernelKind kind, Tokens tokens,
                                           const LlmConfig &model);
 
+    /**
+     * Memoized per-job attention contribution at one bucketed token
+     * count: the QK^T/SV schedules plus their per-channel kernel
+     * energies (and the nChannels-scaled copies the TCP path adds).
+     * The serving engine resolves every (request, head) job of every
+     * decode cycle through this table, turning the per-job cost into
+     * one hash probe instead of two kernel-cache lookups plus two
+     * energy recomputations. Values are pure functions of the
+     * cached schedules, so the memo changes nothing bit-wise; it is
+     * invalidated when a different model's head geometry shows up.
+     */
+    struct AttnJobCost
+    {
+        const ScheduleResult *qkt = nullptr;
+        const ScheduleResult *sv = nullptr;
+        EnergyBreakdown qktEnergy;   ///< kernelEnergy(qkt)
+        EnergyBreakdown svEnergy;    ///< kernelEnergy(sv)
+        EnergyBreakdown qktEnergyCh; ///< kernelEnergy(qkt).scaled(nCh)
+        EnergyBreakdown svEnergyCh;  ///< kernelEnergy(sv).scaled(nCh)
+    };
+
+    /** Memo lookup for @p bucketed tokens (bucketTokens applied). */
+    const AttnJobCost &attentionJobCost(Tokens bucketed,
+                                        const LlmConfig &model);
+
     PimModuleConfig config_;
     EnergyParams energyParams_;
     KernelCache cache_;
     EpuModel epu_;
+
+    std::unordered_map<Tokens, AttnJobCost> attnMemo_;
+    unsigned attnMemoHeadDim_ = 0;
+    unsigned attnMemoGqa_ = 0;
+
+    struct FcCost
+    {
+        bool valid = false;
+        std::uint64_t dModel = 0;
+        std::uint64_t dFfn = 0;
+        unsigned kvHeads = 0;
+        unsigned headDim = 0;
+        unsigned tp = 0;
+        double cyclesPerRequest = 0.0;
+        double busyPerRequest = 0.0;
+        EnergyBreakdown energyPerRequest;
+    };
+    FcCost fcMemo_;
+
+    /** Per-cycle scratch for the HFP channel assignment. */
+    std::vector<std::vector<AttentionJob>> hfpScratch_;
 };
 
 } // namespace pimphony

@@ -34,7 +34,7 @@ PipelineStage::submit(sim::EventQueue &queue, const sim::WorkItem &item,
         // joins the two timelines in event time.
         double estimate =
             std::max(ready, pim_.busyUntil()) + item.seconds;
-        decodeQ_.push_back({item, ready, std::move(done)});
+        decodeQ_.push(DecodeEntry{item, ready, std::move(done)});
         pumpDecode(queue);
         return estimate;
     }
@@ -66,7 +66,7 @@ PipelineStage::pumpDecode(sim::EventQueue &queue)
     if (decodeInFlight_ || decodeQ_.empty())
         return;
     DecodeEntry e = std::move(decodeQ_.front());
-    decodeQ_.pop_front();
+    decodeQ_.pop();
     decodeInFlight_ = true;
     decodeDone_ = std::move(e.done);
 

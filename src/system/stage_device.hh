@@ -17,13 +17,13 @@
 #ifndef PIMPHONY_SYSTEM_STAGE_DEVICE_HH
 #define PIMPHONY_SYSTEM_STAGE_DEVICE_HH
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/device.hh"
 #include "sim/pipeline.hh"
+#include "sim/ring_buffer.hh"
 #include "system/pim_module.hh"
 #include "system/xpu.hh"
 
@@ -140,7 +140,7 @@ class PipelineStage : public sim::Device
     const sim::QueueArbiter *arbiter_ = nullptr;
     PimStageDevice pim_;
     std::unique_ptr<XpuStageDevice> xpu_;
-    std::deque<DecodeEntry> decodeQ_;
+    sim::RingQueue<DecodeEntry> decodeQ_;
     bool decodeInFlight_ = false;
     CompletionFn decodeDone_;
 };

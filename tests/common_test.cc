@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -160,6 +162,115 @@ TEST(SafeRatio, GuardsZeroDenominator)
 {
     EXPECT_DOUBLE_EQ(safeRatio(1.0, 0.0), 0.0);
     EXPECT_DOUBLE_EQ(safeRatio(6.0, 3.0), 2.0);
+}
+
+// --- Streaming windowed quantile. ------------------------------------
+
+/** Reference: sorted copy of the last min(window, n) samples. */
+double
+referenceWindowP95(const std::vector<double> &samples,
+                   std::size_t window)
+{
+    std::size_t w = std::min(window, samples.size());
+    if (w == 0)
+        return 0.0;
+    std::vector<double> recent(samples.end() -
+                                   static_cast<std::ptrdiff_t>(w),
+                               samples.end());
+    std::sort(recent.begin(), recent.end());
+    return nearestRankPercentile(recent, 95.0);
+}
+
+TEST(WindowedQuantile, MatchesSortedCopyOnRandomSequences)
+{
+    // Property: at every prefix (warm-up included), the streaming
+    // p95 equals the copy+sort nearest-rank p95 the serving engine
+    // used to compute — bit for bit.
+    for (std::size_t window : {1u, 2u, 7u, 64u}) {
+        Rng rng(91 + window);
+        WindowedQuantile wq(window, 95.0);
+        std::vector<double> samples;
+        for (int i = 0; i < 500; ++i) {
+            double v = rng.uniform();
+            samples.push_back(v);
+            wq.add(v);
+            ASSERT_EQ(wq.size(),
+                      std::min<std::size_t>(window, samples.size()));
+            ASSERT_EQ(wq.value(), referenceWindowP95(samples, window))
+                << "window " << window << " step " << i;
+        }
+    }
+}
+
+TEST(WindowedQuantile, MatchesSortedCopyWithDuplicates)
+{
+    // Duplicate gap values (identical completion deltas are the
+    // common case in lockstep phases) stress the eviction rule: a
+    // value equal to the low/high boundary may live in either
+    // multiset.
+    Rng rng(7);
+    WindowedQuantile wq(16, 95.0);
+    std::vector<double> samples;
+    for (int i = 0; i < 400; ++i) {
+        // Coarse quantization forces heavy duplication.
+        double v = static_cast<double>(rng.uniformInt(0, 5)) * 0.25;
+        samples.push_back(v);
+        wq.add(v);
+        ASSERT_EQ(wq.value(), referenceWindowP95(samples, 16))
+            << "step " << i;
+    }
+}
+
+TEST(WindowedQuantile, TracksOtherPercentiles)
+{
+    Rng rng(13);
+    WindowedQuantile p50(32, 50.0);
+    std::vector<double> samples;
+    for (int i = 0; i < 200; ++i) {
+        double v = rng.normal();
+        samples.push_back(v);
+        p50.add(v);
+        std::size_t w = std::min<std::size_t>(32, samples.size());
+        std::vector<double> recent(samples.end() -
+                                       static_cast<std::ptrdiff_t>(w),
+                                   samples.end());
+        std::sort(recent.begin(), recent.end());
+        ASSERT_EQ(p50.value(), nearestRankPercentile(recent, 50.0));
+    }
+}
+
+TEST(WindowedQuantile, ResetEmptiesTheWindow)
+{
+    WindowedQuantile wq(4, 95.0);
+    EXPECT_DOUBLE_EQ(wq.value(), 0.0);
+    wq.add(3.0);
+    wq.add(1.0);
+    EXPECT_DOUBLE_EQ(wq.value(), 3.0);
+    wq.reset();
+    EXPECT_EQ(wq.size(), 0u);
+    EXPECT_DOUBLE_EQ(wq.value(), 0.0);
+    wq.add(2.0);
+    EXPECT_DOUBLE_EQ(wq.value(), 2.0);
+}
+
+TEST(NearestRankInPlace, MatchesSortedNearestRank)
+{
+    Rng rng(29);
+    for (int n : {1, 2, 19, 20, 100}) {
+        std::vector<double> samples;
+        for (int i = 0; i < n; ++i)
+            samples.push_back(rng.uniform());
+        for (double p : {5.0, 50.0, 95.0, 100.0}) {
+            std::vector<double> sorted = samples;
+            std::sort(sorted.begin(), sorted.end());
+            std::vector<double> scratch = samples;
+            EXPECT_EQ(nearestRankPercentileInPlace(scratch, p),
+                      nearestRankPercentile(sorted, p))
+                << "n " << n << " p " << p;
+        }
+    }
+    std::vector<double> empty;
+    EXPECT_DOUBLE_EQ(nearestRankPercentileInPlace(empty, 95.0), 0.0);
 }
 
 } // namespace

@@ -10,12 +10,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "common/stats.hh"
 #include "sim/device.hh"
 #include "sim/event_queue.hh"
 #include "sim/pipeline.hh"
+#include "sim/ring_buffer.hh"
+#include "sim/small_fn.hh"
 #include "system/engine.hh"
 #include "system/stage_device.hh"
 #include "workload/arrival.hh"
@@ -45,6 +48,143 @@ TEST(EventQueue, SimultaneousEventsRunFifo)
         q.schedule(1.0, [&order, i](double) { order.push_back(i); });
     q.runAll();
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, FifoTiesUnderPooledEvents)
+{
+    // Pooled/small-buffer event storage must preserve the
+    // (time, insertion-order) contract: same-time events of mixed
+    // callback sizes run FIFO, including events scheduled from
+    // inside callbacks (which reuse freed heap slots) and after the
+    // backing vector grows.
+    sim::EventQueue q;
+    std::vector<int> order;
+    struct Big
+    {
+        double pad[4];
+    };
+    Big big{{0, 0, 0, 0}};
+    for (int i = 0; i < 32; ++i) {
+        if (i % 2 == 0) {
+            q.schedule(1.0, [&order, i](double) { order.push_back(i); });
+        } else {
+            q.schedule(1.0, [&order, i, big](double) {
+                order.push_back(i + static_cast<int>(big.pad[0]));
+            });
+        }
+    }
+    // A later-scheduled earlier-time event still runs first...
+    q.schedule(0.5, [&order](double) { order.push_back(-1); });
+    // ...and events scheduled from within a callback at the same
+    // time run after everything already queued at that time.
+    q.schedule(1.0, [&](double) {
+        q.schedule(1.0, [&order](double) { order.push_back(100); });
+    });
+    q.runAll();
+    ASSERT_EQ(order.size(), 34u);
+    EXPECT_EQ(order.front(), -1);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i) + 1], i);
+    EXPECT_EQ(order.back(), 100);
+    EXPECT_EQ(q.dispatched(), 35u);
+}
+
+TEST(SmallFn, InlineCallbacksNeverTouchTheHeap)
+{
+    std::uint64_t before = sim::smallFnHeapAllocs();
+    int hits = 0;
+    // Typical hot-path capture sets: one pointer, two pointers plus
+    // a double, a shared_ptr plus references.
+    sim::SimFn a([&hits](double) { ++hits; });
+    void *p1 = &hits;
+    void *p2 = &a;
+    double x = 1.5;
+    sim::SimFn b([p1, p2, x, &hits](double) { ++hits; });
+    auto sp = std::make_shared<int>(7);
+    sim::SimFn c([sp, &hits](double) { hits += *sp; });
+    a(0.0);
+    b(0.0);
+    c(0.0);
+    // Moving between SmallFns (stored completion -> event queue) is
+    // a relocation, not a re-erasure.
+    sim::SimFn d(std::move(c));
+    d(0.0);
+    EXPECT_EQ(hits, 16);
+    EXPECT_EQ(sim::smallFnHeapAllocs(), before);
+
+    // An oversized capture falls back to the heap -- and is counted,
+    // which is what the decode-path assertions below key on.
+    struct Huge
+    {
+        double pad[16];
+    };
+    Huge huge{};
+    huge.pad[0] = 1.0;
+    sim::SimFn e([huge, &hits](double) {
+        hits += static_cast<int>(huge.pad[0]);
+    });
+    e(0.0);
+    EXPECT_EQ(hits, 17);
+    EXPECT_EQ(sim::smallFnHeapAllocs(), before + 1);
+}
+
+TEST(SmallFn, DecodePathIsCallbackAllocationFree)
+{
+    // The acceptance contract of the PR 4 hot-path overhaul: a full
+    // event-driven serving run -- decode cycles, chunked prefill,
+    // arrivals, and an arbitrated policy -- never heap-allocates
+    // callback storage. Every closure on the path fits the SimFn
+    // small buffer; a capture that grows past it would trip the
+    // counter here.
+    auto model = LlmConfig::llm7b(true);
+    for (SchedPolicyKind kind :
+         {SchedPolicyKind::Fifo, SchedPolicyKind::SloAdmission,
+          SchedPolicyKind::ChunkPreempt}) {
+        auto cluster = ClusterConfig::neupimsLike(model);
+        cluster.plan = ParallelPlan{cluster.nModules / 4, 4};
+        applyOptions(cluster, PimphonyOptions::all());
+        std::vector<Request> reqs;
+        for (RequestId i = 0; i < 32; ++i)
+            reqs.push_back({i, (i % 4 == 0) ? Tokens(30000)
+                                            : Tokens(2000),
+                            16});
+        auto timed = gammaArrivals(reqs, 4.0, 3.0, 17);
+        EngineOptions opts;
+        opts.allocator = AllocatorKind::LazyChunk;
+        opts.stepModel = StepModel::EventDriven;
+        opts.prefillChunkTokens = 2048;
+        opts.sched.kind = kind;
+
+        std::uint64_t before = sim::smallFnHeapAllocs();
+        auto r = ServingEngine(cluster, model, timed, opts).run();
+        EXPECT_EQ(sim::smallFnHeapAllocs(), before)
+            << "policy " << schedPolicyName(kind)
+            << " heap-allocated callback storage on the decode path";
+        EXPECT_EQ(r.completedRequests, 32u);
+    }
+}
+
+TEST(RingQueue, FifoAcrossGrowthAndWraparound)
+{
+    sim::RingQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    // Interleaved push/pop drives head_ around the buffer while the
+    // queue grows past its initial capacity.
+    int next_push = 0, next_pop = 0;
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 3; ++i)
+            q.push(next_push++);
+        for (int i = 0; i < (round % 3 == 0 ? 1 : 2); ++i) {
+            ASSERT_FALSE(q.empty());
+            EXPECT_EQ(q.front(), next_pop++);
+            q.pop();
+        }
+    }
+    while (!q.empty()) {
+        EXPECT_EQ(q.front(), next_pop++);
+        q.pop();
+    }
+    EXPECT_EQ(next_pop, next_push);
 }
 
 TEST(EventQueue, PastTimesClampToNow)
