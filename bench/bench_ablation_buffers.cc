@@ -12,9 +12,12 @@
 using namespace pimphony;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Ablation: sequencer buffer sizing");
+    bench::JsonRows json("bench_ablation_buffers");
     printBanner(std::cout,
                 "Ablation: OBuf depth under DCS (QKT/SV, 16K tokens, "
                 "g=4, row-reuse)");
@@ -25,8 +28,12 @@ main()
     spec.gqaGroup = 4;
     spec.rowReuse = true;
 
-    TablePrinter t({"OBuf entries", "QKT cycles", "SV cycles",
-                    "QKT util", "SV util"});
+    bench::MirroredTable t(
+
+        {"OBuf entries", "QKT cycles", "SV cycles",
+                    "QKT util", "SV util"},
+
+        args.json ? &json : nullptr);
     double sv1 = 0.0;
     for (unsigned obuf : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
         AimTimingParams params = AimTimingParams::aimxWithObuf(obuf);
@@ -46,5 +53,6 @@ main()
     std::cout << "  (area cost grows linearly with depth; the paper "
                  "settles at a multi-entry OBuf worth 0.47% of the MAC "
                  "area)\n";
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -12,9 +12,12 @@
 using namespace pimphony;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Ablation: DPA chunk size");
+    bench::JsonRows json("bench_ablation_chunk");
     printBanner(std::cout,
                 "Ablation: DPA chunk size (LLM-7B-128K-GQA, "
                 "multifieldqa trace, 114 GiB usable)");
@@ -23,8 +26,12 @@ main()
     TraceGenerator gen(TraceTask::MultifieldQa, 77);
     auto requests = gen.generate(64, 128);
 
-    TablePrinter t({"chunk", "admitted", "capacity util", "VA2PA bytes",
-                    "host msgs"});
+    bench::MirroredTable t(
+
+        {"chunk", "admitted", "capacity util", "VA2PA bytes",
+                    "host msgs"},
+
+        args.json ? &json : nullptr);
     for (Bytes chunk : {256_KiB, 1_MiB, 4_MiB, 16_MiB, 64_MiB}) {
         LazyChunkAllocator alloc(114_GiB, model.kvBytesPerToken(),
                                  model.contextWindow, chunk);
@@ -42,5 +49,6 @@ main()
                   TablePrinter::fmtInt(alloc.hostInterventions())});
     }
     t.print(std::cout);
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

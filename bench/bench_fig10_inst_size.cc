@@ -14,9 +14,12 @@
 using namespace pimphony;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 10: static vs DPA instruction footprint");
+    bench::JsonRows json("bench_fig10_inst_size");
     auto model = LlmConfig::llm7b(true);
     auto graph = buildDecoderLayer(model);
     AimTimingParams params = AimTimingParams::aimxWithObuf(16);
@@ -33,8 +36,10 @@ main()
                 "Fig. 10(c): per-kernel instruction footprint vs context "
                 "length (one attention head)");
     InstructionSequencer seq;
-    TablePrinter t({"context", "QKT static", "QKT DPA", "SV static",
-                    "SV DPA", "static fits 256KB buf?"});
+    bench::MirroredTable t(
+        {"context", "QKT static", "QKT DPA", "SV static",
+                    "SV DPA", "static fits 256KB buf?"},
+        args.json ? &json : nullptr);
     for (Tokens tm :
          {4096u, 16384u, 65536u, 262144u, 1048576u}) {
         auto lq = lowerKernel(qkt, params, tm);
@@ -68,5 +73,6 @@ main()
               << lq.dpaProgram.expand(65536).size()
               << " instructions at T=64K and "
               << lq.dpaProgram.expand(1048576).size() << " at T=1M\n";
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -13,11 +13,13 @@ namespace {
 
 void
 grid(const char *title, const std::vector<LlmConfig> &models,
-     const std::vector<TraceTask> &tasks)
+     const std::vector<TraceTask> &tasks, bench::JsonRows *json)
 {
     printBanner(std::cout, title);
-    TablePrinter t({"model", "task", "config", "plan", "tokens/s",
-                    "speedup"});
+    bench::MirroredTable t(
+        {"model", "task", "config", "plan", "tokens/s",
+                    "speedup"},
+        json);
     for (const auto &model : models) {
         for (TraceTask task : tasks) {
             double base = 0.0;
@@ -47,15 +49,33 @@ grid(const char *title, const std::vector<LlmConfig> &models,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 14: xPU+PIM throughput, cumulative techniques");
+    bench::JsonRows json("bench_fig14_xpu_pim");
     grid("Fig. 14(a): xPU+PIM, non-GQA LLMs on LongBench",
-         {LlmConfig::llm7b(false), LlmConfig::llm72b(false)},
-         {TraceTask::QMSum, TraceTask::Musique});
+         args.smoke
+             ? std::vector<LlmConfig>{LlmConfig::llm7b(false)}
+             : std::vector<LlmConfig>{LlmConfig::llm7b(false),
+                                      LlmConfig::llm72b(false)},
+         args.smoke
+             ? std::vector<TraceTask>{TraceTask::QMSum}
+             : std::vector<TraceTask>{TraceTask::QMSum,
+                                      TraceTask::Musique},
+         args.json ? &json : nullptr);
     grid("Fig. 14(b): xPU+PIM, GQA LLMs on LV-Eval "
          "(paper: up to 8.4x)",
-         {LlmConfig::llm7b(true), LlmConfig::llm72b(true)},
-         {TraceTask::MultifieldQa, TraceTask::LoogleSd});
+         args.smoke
+             ? std::vector<LlmConfig>{LlmConfig::llm7b(true)}
+             : std::vector<LlmConfig>{LlmConfig::llm7b(true),
+                                      LlmConfig::llm72b(true)},
+         args.smoke
+             ? std::vector<TraceTask>{TraceTask::MultifieldQa}
+             : std::vector<TraceTask>{TraceTask::MultifieldQa,
+                                      TraceTask::LoogleSd},
+         args.json ? &json : nullptr);
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

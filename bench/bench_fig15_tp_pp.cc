@@ -13,7 +13,8 @@ using namespace pimphony;
 namespace {
 
 void
-sweep(const char *title, const LlmConfig &model, TraceTask task)
+sweep(const char *title, const LlmConfig &model, TraceTask task,
+      bench::JsonRows *json)
 {
     printBanner(std::cout, title);
     OrchestratorConfig probe;
@@ -25,7 +26,7 @@ sweep(const char *title, const LlmConfig &model, TraceTask task)
     std::vector<std::string> headers = {"config"};
     for (const auto &p : plans)
         headers.push_back(p.toString());
-    TablePrinter t(headers);
+    bench::MirroredTable t(headers, json, title);
 
     for (const auto &opt : bench::cumulativeOptions()) {
         std::vector<std::string> row = {opt.label()};
@@ -49,13 +50,19 @@ sweep(const char *title, const LlmConfig &model, TraceTask task)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 15: throughput across fixed (TP,PP) plans");
+    bench::JsonRows json("bench_fig15_tp_pp");
     sweep("Fig. 15(a): LLM-7B-32K on QMSum, tokens/s across (TP,PP)",
-          LlmConfig::llm7b(false), TraceTask::QMSum);
+          LlmConfig::llm7b(false), TraceTask::QMSum,
+          args.json ? &json : nullptr);
     sweep("Fig. 15(b): LLM-7B-128K-GQA on multifieldqa, tokens/s "
           "across (TP,PP)",
-          LlmConfig::llm7b(true), TraceTask::MultifieldQa);
+          LlmConfig::llm7b(true), TraceTask::MultifieldQa,
+          args.json ? &json : nullptr);
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

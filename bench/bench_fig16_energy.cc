@@ -15,16 +15,22 @@ using namespace pimphony;
 namespace {
 
 void
-energyCase(const char *title, const LlmConfig &model, TraceTask task)
+energyCase(const char *title, const LlmConfig &model, TraceTask task, bench::JsonRows *json)
 {
     printBanner(std::cout, title);
     TraceGenerator gen(task, 33);
     auto requests = gen.generate(16, 32);
 
-    TablePrinter top({"config", "total (J)", "FC share", "Attn share",
-                      "Attn energy reduction"});
-    TablePrinter bottom({"config", "Attn MAC", "Attn I/O",
-                         "Attn background", "Attn ACT/PRE+REF+else"});
+    bench::MirroredTable top(
+
+        {"config", "total (J)", "FC share", "Attn share",
+                      "Attn energy reduction"},
+
+        json, "top");
+    bench::MirroredTable bottom(
+        {"config", "Attn MAC", "Attn I/O",
+                         "Attn background", "Attn ACT/PRE+REF+else"},
+        json, "bottom");
     double base_attn = 0.0;
     for (const auto &opt :
          {PimphonyOptions::baseline(), PimphonyOptions::all()}) {
@@ -54,17 +60,25 @@ energyCase(const char *title, const LlmConfig &model, TraceTask task)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 16: energy breakdown per technique stack");
+    bench::JsonRows json("bench_fig16_energy");
     energyCase("Fig. 16(a): LLM-7B-32K on LongBench QMSum (32K class)",
-               LlmConfig::llm7b(false), TraceTask::QMSum);
+               LlmConfig::llm7b(false), TraceTask::QMSum,
+         args.json ? &json : nullptr);
     energyCase("Fig. 16(a): LLM-72B-32K on LongBench Musique",
-               LlmConfig::llm72b(false), TraceTask::Musique);
+               LlmConfig::llm72b(false), TraceTask::Musique,
+         args.json ? &json : nullptr);
     energyCase("Fig. 16(b): LLM-7B-128K-GQA on LV-Eval multifieldqa "
                "(paper: background 71.5% -> 13.0%)",
-               LlmConfig::llm7b(true), TraceTask::MultifieldQa);
+               LlmConfig::llm7b(true), TraceTask::MultifieldQa,
+         args.json ? &json : nullptr);
     energyCase("Fig. 16(b): LLM-72B-128K-GQA on LV-Eval Loogle-SD",
-               LlmConfig::llm72b(true), TraceTask::LoogleSd);
+               LlmConfig::llm72b(true), TraceTask::LoogleSd,
+         args.json ? &json : nullptr);
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

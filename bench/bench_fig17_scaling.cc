@@ -53,18 +53,26 @@ evaluate(SystemKind system, const LlmConfig &model, unsigned modules,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 17: scaling with context length and modules");
+    bench::JsonRows json("bench_fig17_scaling");
 
     printBanner(std::cout,
                 "Fig. 17(a): throughput vs capacity at 64K mean context "
                 "(CENT-like, PIMphony, best plan)");
     {
         auto model = modelFor(65536);
-        TablePrinter t({"capacity", "modules", "plan", "tokens/s",
-                        "effective batch"});
-        for (unsigned modules : {8u, 16u, 32u, 64u}) {
+        bench::MirroredTable t(
+            {"capacity", "modules", "plan", "tokens/s",
+                        "effective batch"},
+            args.json ? &json : nullptr, "17a");
+        std::vector<unsigned> module_counts =
+            args.smoke ? std::vector<unsigned>{8u}
+                       : std::vector<unsigned>{8u, 16u, 32u, 64u};
+        for (unsigned modules : module_counts) {
             std::size_t n = 4u * modules;
             auto requests = scaledTrace(65536, n, 16);
             auto r = evaluate(SystemKind::PimOnly, model, modules,
@@ -83,11 +91,16 @@ main()
                 "GiB (paper CENT: 1.3/2.3/4.8/12.7/46.6; NeuPIMs: "
                 "2.0/2.3/2.6/3.4/5.0)");
     {
-        TablePrinter t({"mean context", "CENT base tok/s",
+        bench::MirroredTable t(
+            {"mean context", "CENT base tok/s",
                         "CENT +PIMphony", "speedup", "NeuPIMs base",
-                        "NeuPIMs +PIMphony", "speedup"});
-        for (Tokens ctx :
-             {4096u, 32768u, 131072u, 524288u, 1048576u}) {
+                        "NeuPIMs +PIMphony", "speedup"},
+            args.json ? &json : nullptr, "17b");
+        std::vector<Tokens> contexts =
+            args.smoke ? std::vector<Tokens>{4096u, 32768u}
+                       : std::vector<Tokens>{4096u, 32768u, 131072u,
+                                             524288u, 1048576u};
+        for (Tokens ctx : contexts) {
             auto model = modelFor(ctx);
             std::size_t n = ctx >= 524288 ? 12 : 32;
             auto requests = scaledTrace(ctx, n, 16);
@@ -117,9 +130,14 @@ main()
     printBanner(std::cout,
                 "Fig. 17(c): where the time goes (CENT-like, 512 GiB)");
     {
-        TablePrinter t({"mean context", "config", "attention share",
-                        "FC share", "MAC util"});
-        for (Tokens ctx : {32768u, 524288u}) {
+        bench::MirroredTable t(
+            {"mean context", "config", "attention share",
+                        "FC share", "MAC util"},
+            args.json ? &json : nullptr, "17c");
+        std::vector<Tokens> contexts =
+            args.smoke ? std::vector<Tokens>{32768u}
+                       : std::vector<Tokens>{32768u, 524288u};
+        for (Tokens ctx : contexts) {
             auto model = modelFor(ctx);
             auto requests = scaledTrace(ctx, ctx >= 524288 ? 12 : 32, 16);
             for (const auto &opt : {PimphonyOptions::baseline(),
@@ -139,5 +157,6 @@ main()
         }
         t.print(std::cout);
     }
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

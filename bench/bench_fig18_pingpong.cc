@@ -12,16 +12,21 @@
 using namespace pimphony;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 18: ping-pong vs DCS scheduling makespan");
+    bench::JsonRows json("bench_fig18_pingpong");
     printBanner(std::cout,
                 "Fig. 18: compute utilization, ping-pong vs DCS "
                 "(row-reuse mapping, same total buffers)");
 
     AimTimingParams params = AimTimingParams::aimxWithObuf(16);
-    TablePrinter t({"config", "pingpong util", "DCS util", "DCS gain",
-                    "pingpong cycles", "DCS cycles"});
+    bench::MirroredTable t(
+        {"config", "pingpong util", "DCS util", "DCS gain",
+                    "pingpong cycles", "DCS cycles"},
+        args.json ? &json : nullptr);
 
     for (unsigned g : {1u, 2u, 4u, 8u}) {
         AttentionSpec spec;
@@ -60,5 +65,6 @@ main()
     std::cout << "  (paper: DCS sustains entry-level overlap in one "
                  "buffer; ping-pong stalls at region hand-offs, up to "
                  "1.4x lower utilization)\n";
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -12,15 +12,22 @@
 using namespace pimphony;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 19: KV capacity utilization per allocator");
+    bench::JsonRows json("bench_fig19_capacity");
     printBanner(std::cout,
                 "Fig. 19: capacity utilization, static vs DPA "
                 "(paper: 31.0-40.5% -> avg 75.6%)");
 
-    TablePrinter t({"task", "model", "static util", "DPA util",
-                    "static batch", "DPA batch"});
+    bench::MirroredTable t(
+
+        {"task", "model", "static util", "DPA util",
+                    "static batch", "DPA batch"},
+
+        args.json ? &json : nullptr);
     double dpa_sum = 0.0;
     int n = 0;
     for (TraceTask task : allTraceTasks()) {
@@ -47,5 +54,6 @@ main()
     std::cout << "  DPA average: "
               << TablePrinter::fmtPercent(dpa_sum / n)
               << " (paper: 75.6%)\n";
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -16,7 +16,7 @@ namespace {
 
 void
 compare(const char *title, const LlmConfig &model, TraceTask task,
-        unsigned n_gpus)
+        unsigned n_gpus, bench::JsonRows *json)
 {
     printBanner(std::cout, title);
     TraceGenerator gen(task, 55);
@@ -26,7 +26,11 @@ compare(const char *title, const LlmConfig &model, TraceTask task,
     gpu.nGpus = n_gpus;
     auto g = runGpuServing(gpu, model, requests);
 
-    TablePrinter t({"system", "tokens/s", "vs GPU"});
+    bench::MirroredTable t(
+
+        {"system", "tokens/s", "vs GPU"},
+
+        json);
     t.addRow({"GPU (A100 x" + TablePrinter::fmtInt(n_gpus) + ", FD+PA)",
               TablePrinter::fmt(g.tokensPerSecond, 1), "1.00x"});
 
@@ -52,17 +56,25 @@ compare(const char *title, const LlmConfig &model, TraceTask task,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 20: GPU baseline comparison");
+    bench::JsonRows json("bench_fig20_gpu");
     compare("Fig. 20(a): LLM-7B-32K (non-GQA) on QMSum, GPU memory "
             "matched (2x A100-80GB)",
-            LlmConfig::llm7b(false), TraceTask::QMSum, 2);
+            LlmConfig::llm7b(false), TraceTask::QMSum, 2,
+         args.json ? &json : nullptr);
     compare("Fig. 20(b): LLM-7B-128K-GQA on multifieldqa (2x A100)",
-            LlmConfig::llm7b(true), TraceTask::MultifieldQa, 2);
+            LlmConfig::llm7b(true), TraceTask::MultifieldQa, 2,
+         args.json ? &json : nullptr);
     compare("Fig. 20(a): LLM-72B-32K (non-GQA) on QMSum (8x A100)",
-            LlmConfig::llm72b(false), TraceTask::QMSum, 8);
+            LlmConfig::llm72b(false), TraceTask::QMSum, 8,
+         args.json ? &json : nullptr);
     compare("Fig. 20(b): LLM-72B-128K-GQA on multifieldqa (8x A100)",
-            LlmConfig::llm72b(true), TraceTask::MultifieldQa, 8);
+            LlmConfig::llm72b(true), TraceTask::MultifieldQa, 8,
+         args.json ? &json : nullptr);
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

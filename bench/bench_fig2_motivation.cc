@@ -11,16 +11,21 @@
 using namespace pimphony;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 2: long-context decode characteristics");
+    bench::JsonRows json("bench_fig2_motivation");
     auto model = LlmConfig::llm7b(true);
 
     printBanner(std::cout,
                 "Fig. 2(a): compute intensity (FLOPs/Byte) vs context "
                 "(LLM-7B w/ GQA, batch 16)");
-    TablePrinter a({"context", "FLOPs/token", "bytes/token",
-                    "intensity"});
+    bench::MirroredTable a(
+        {"context", "FLOPs/token", "bytes/token",
+                    "intensity"},
+        args.json ? &json : nullptr);
     for (Tokens t : {1024u, 4096u, 16384u, 65536u, 262144u, 1048576u}) {
         a.addRow({TablePrinter::fmtInt(t),
                   TablePrinter::fmt(model.decodeFlopsPerToken(t) / 1e9, 2) +
@@ -39,7 +44,7 @@ main()
     std::vector<std::string> headers = {"context"};
     for (auto b : batches)
         headers.push_back("batch " + TablePrinter::fmtInt(b));
-    TablePrinter f(headers);
+    bench::MirroredTable f(headers, args.json ? &json : nullptr, "f");
     for (Tokens t : {4096u, 16384u, 65536u, 131072u, 262144u, 1048576u}) {
         std::vector<std::string> row = {TablePrinter::fmtInt(t)};
         for (auto b : batches) {
@@ -55,5 +60,6 @@ main()
     }
     f.print(std::cout);
     std::cout << "  (*OOM: exceeds one A100-80GB)\n";
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -15,7 +15,7 @@ using namespace pimphony;
 namespace {
 
 void
-contextCase(const char *title, Tokens mean_context, Tokens t_max)
+contextCase(const char *title, Tokens mean_context, Tokens t_max, bench::JsonRows *json)
 {
     printBanner(std::cout, title);
     auto model = LlmConfig::llm7b(true);
@@ -26,8 +26,12 @@ contextCase(const char *title, Tokens mean_context, Tokens t_max)
     // the admission limit (not the trace size) sets the batch.
     auto requests = gen.generateScaled(96, mean_context, 32);
 
-    TablePrinter t({"config", "MAC util", "util gain", "tokens/s",
-                    "effective batch", "capacity util"});
+    bench::MirroredTable t(
+
+        {"config", "MAC util", "util gain", "tokens/s",
+                    "effective batch", "capacity util"},
+
+        json);
     double prev_util = 0.0;
     for (const auto &opt : bench::cumulativeOptions()) {
         auto cluster = ClusterConfig::centLike(model);
@@ -49,13 +53,19 @@ contextCase(const char *title, Tokens mean_context, Tokens t_max)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
-    contextCase("Fig. 4(a): short context (~4K, T_max 4K)", 4096, 4096);
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 4: effective batch and MAC utilization");
+    bench::JsonRows json("bench_fig4_utilization");
+    contextCase("Fig. 4(a): short context (~4K, T_max 4K)", 4096, 4096,
+         args.json ? &json : nullptr);
     contextCase("Fig. 4(b): long context (~32K, T_max 32K; paper: 48% "
                 "baseline util drop vs (a), gains 1.4x/1.9x/1.1x, "
                 "effective batch 53)",
-                28000, 32768);
+                28000, 32768,
+         args.json ? &json : nullptr);
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -12,9 +12,12 @@
 using namespace pimphony;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 6: attention partitioning strategies");
+    bench::JsonRows json("bench_fig6_partitioning");
     const unsigned n_channels = 4;
 
     // R(1): long context, R(2): short context; 2 heads each.
@@ -25,7 +28,9 @@ main()
                 "Fig. 6(b) vs (d): tensor parallelism, one module of 4 "
                 "channels");
     {
-        TablePrinter t({"channel", "HFP load (tokens)", "TCP load"});
+        bench::MirroredTable t(
+            {"channel", "HFP load (tokens)", "TCP load"},
+            args.json ? &json : nullptr, "t");
         auto hfp = assignHfp(jobs, n_channels);
         Tokens tcp_per_channel = 0;
         for (const auto &j : jobs)
@@ -54,8 +59,10 @@ main()
                 "Fig. 6(c) vs (e): pipeline parallelism, stage holds one "
                 "request at a time");
     {
-        TablePrinter t({"stage occupant", "HFP active channels",
-                        "TCP active channels"});
+        bench::MirroredTable t(
+            {"stage occupant", "HFP active channels",
+                        "TCP active channels"},
+            args.json ? &json : nullptr, "t");
         for (RequestId r = 1; r <= 2; ++r) {
             std::vector<AttentionJob> stage_jobs;
             for (const auto &j : jobs)
@@ -77,5 +84,6 @@ main()
     std::cout << "  16-channel module: QK^T fully active beyond "
               << tcpFullActivationTokens(16)
               << " tokens (paper: 256)\n";
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -55,9 +55,12 @@ printTimeline(const ScheduleResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 7: DCS scheduling example");
+    bench::JsonRows json("bench_fig7_dcs_example");
     printBanner(std::cout,
                 "Fig. 7: static vs dynamic command scheduling "
                 "(illustrative timing: tCCDS=2 tWR-INP=4 tMAC=3 "
@@ -78,7 +81,11 @@ main()
               << " cycles; paper: 22):\n";
     printTimeline(dc);
 
-    TablePrinter t({"scheduler", "cycles", "vs paper", "reduction"});
+    bench::MirroredTable t(
+
+        {"scheduler", "cycles", "vs paper", "reduction"},
+
+        args.json ? &json : nullptr);
     t.addRow({"static", TablePrinter::fmtInt(st.makespan), "34", "-"});
     t.addRow({"DCS", TablePrinter::fmtInt(dc.makespan), "22",
               TablePrinter::fmtPercent(
@@ -96,5 +103,6 @@ main()
               << bench::fmtSpeedup(static_cast<double>(st2.makespan) /
                                    static_cast<double>(dc2.makespan))
               << ")\n";
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

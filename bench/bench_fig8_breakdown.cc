@@ -15,12 +15,14 @@ using namespace pimphony;
 namespace {
 
 void
-sweep(SchedulerKind sched, const char *title, unsigned obuf)
+sweep(SchedulerKind sched, const char *title, unsigned obuf, bench::JsonRows *json)
 {
     printBanner(std::cout, title);
-    TablePrinter t({"(din,dout)", "cycles", "MAC", "ACT/PRE", "REF",
+    bench::MirroredTable t(
+        {"(din,dout)", "cycles", "MAC", "ACT/PRE", "REF",
                     "DT-GBuf", "DT-OutReg", "PipelinePenalty",
-                    "MAC util"});
+                    "MAC util"},
+        json);
     AimTimingParams params = AimTimingParams::aimxWithObuf(obuf);
     if (obuf <= 1)
         params = AimTimingParams::aimx();
@@ -49,16 +51,22 @@ sweep(SchedulerKind sched, const char *title, unsigned obuf)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 8: latency breakdown per technique");
+    bench::JsonRows json("bench_fig8_breakdown");
     sweep(SchedulerKind::Static,
           "Fig. 8: latency breakdown vs matrix dims -- static "
           "scheduler, single OutReg (baseline)",
-          1);
+          1,
+         args.json ? &json : nullptr);
     sweep(SchedulerKind::Dcs,
           "Reference: same sweep with DCS + I/O-aware buffering "
           "(PIMphony)",
-          16);
+          16,
+         args.json ? &json : nullptr);
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -14,7 +14,7 @@ using namespace pimphony;
 namespace {
 
 void
-rows(TablePrinter &t, const char *label, const ScheduleResult &r)
+rows(bench::MirroredTable &t, const char *label, const ScheduleResult &r)
 {
     auto pct = [&](Cycle c) {
         return TablePrinter::fmtPercent(static_cast<double>(c) /
@@ -32,9 +32,12 @@ rows(TablePrinter &t, const char *label, const ScheduleResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Fig. 9: GQA DCS scheduling behavior");
+    bench::JsonRows json("bench_fig9_gqa_dcs");
     auto model = LlmConfig::llm72b(true); // g = 8
 
     AttentionSpec spec;
@@ -49,8 +52,10 @@ main()
     printBanner(std::cout,
                 "Fig. 9(a): LLM-72B QK^T latency breakdown, row-reuse "
                 "mapping (16K tokens/channel, g=8)");
-    TablePrinter a({"config", "cycles", "MAC", "ACT/PRE", "REF",
-                    "DT-GBuf", "DT-OutReg", "Pipeline", "MAC util"});
+    bench::MirroredTable a(
+        {"config", "cycles", "MAC", "ACT/PRE", "REF",
+                    "DT-GBuf", "DT-OutReg", "Pipeline", "MAC util"},
+        args.json ? &json : nullptr, "a");
     auto qkt_st = simulateKernel(
         KernelRequest::makeQkt(spec, SchedulerKind::Static), base);
     auto qkt_dc = simulateKernel(
@@ -63,8 +68,10 @@ main()
     a.print(std::cout);
 
     printBanner(std::cout, "Fig. 9(b): LLM-72B SV latency breakdown");
-    TablePrinter b({"config", "cycles", "MAC", "ACT/PRE", "REF",
-                    "DT-GBuf", "DT-OutReg", "Pipeline", "MAC util"});
+    bench::MirroredTable b(
+        {"config", "cycles", "MAC", "ACT/PRE", "REF",
+                    "DT-GBuf", "DT-OutReg", "Pipeline", "MAC util"},
+        args.json ? &json : nullptr, "b");
     auto sv_st = simulateKernel(
         KernelRequest::makeSv(spec, SchedulerKind::Static), base);
     auto sv_dc = simulateKernel(
@@ -79,7 +86,9 @@ main()
     printBanner(std::cout,
                 "Row-reuse vs input-reuse (static): the mapping only "
                 "pays off once DCS hides the query/score swaps");
-    TablePrinter c({"mapping", "scheduler", "QKT cycles", "activates"});
+    bench::MirroredTable c(
+        {"mapping", "scheduler", "QKT cycles", "activates"},
+        args.json ? &json : nullptr, "c");
     for (bool rr : {false, true}) {
         for (auto sched :
              {SchedulerKind::Static, SchedulerKind::Dcs}) {
@@ -95,5 +104,6 @@ main()
         }
     }
     c.print(std::cout);
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Request-class sweep: tier mix x arrival rate x context length on
+ * the xPU+PIM system under the event-driven engine with chunked
+ * prefill and bursty (on/off) arrivals.
+ *
+ * Each cell runs the same two-tier trace (tier 0 interactive, tier 1
+ * batch; tenants tagged by tier so occupancy is reported) under the
+ * single-class FIFO baseline and under tier-priority arbitration
+ * (strict bands + decode-side preemption). The interesting columns:
+ * per-tier gap p95 — tier-priority should pull tier 0's tail below
+ * the mixed FIFO tail at tier 1's expense — plus tier-inversion
+ * counts and decode preemption splits (the mechanism's receipts).
+ *
+ * Run with --smoke for a tiny sweep (CI keeps the harness alive);
+ * --json emits machine-readable rows for the nightly artifacts.
+ */
+
+#include "bench_util.hh"
+
+#include "system/sched_policy.hh"
+#include "workload/arrival.hh"
+#include "workload/request_class.hh"
+
+using namespace pimphony;
+
+namespace {
+
+void
+sweep(std::size_t n_requests, Tokens decode, Tokens chunk,
+      const std::vector<double> &tier0_fracs,
+      const std::vector<double> &rates,
+      const std::vector<Tokens> &contexts, const bench::BenchArgs &args)
+{
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::neupimsLike(model);
+    cluster.plan = ParallelPlan{cluster.nModules / 2, 2};
+    applyOptions(cluster, PimphonyOptions::all());
+
+    printBanner(std::cout,
+                "Per-request SLO classes, xPU+PIM, LLM-7B-128K-GQA");
+    std::cout << n_requests << " requests, " << decode
+              << " decode tokens, chunk " << chunk
+              << " tok, on/off burst arrivals, PP=2\n";
+
+    RequestClass interactive;
+    interactive.tier = 0;
+    interactive.tenant = 0;
+    interactive.gapSloSeconds = 0.05;
+    RequestClass batch;
+    batch.tier = 1;
+    batch.tenant = 1;
+    batch.gapSloSeconds = 0.5;
+
+    bench::JsonRows json("bench_slo_classes");
+    TablePrinter t({"ctx (tok)", "rate (req/s)", "tier0 %", "policy",
+                    "tok/s", "t0 gap p95 (ms)", "t1 gap p95 (ms)",
+                    "t0 ttft p95 (s)", "inversions", "dec slices"});
+    for (Tokens ctx : contexts) {
+        for (double rate : rates) {
+            for (double frac : tier0_fracs) {
+                std::vector<Request> reqs;
+                std::size_t n_tier0 = static_cast<std::size_t>(
+                    frac * static_cast<double>(n_requests) + 0.5);
+                for (RequestId i = 0; i < n_requests; ++i) {
+                    Request r{i, ctx, decode};
+                    r.cls = i < n_tier0 ? interactive : batch;
+                    reqs.push_back(r);
+                }
+                OnOffTraffic traffic;
+                traffic.onRate = rate * 3.0;
+                traffic.offRate = 0.0;
+                traffic.meanOnSeconds = 1.0;
+                traffic.meanOffSeconds = 2.0;
+                auto timed = onOffArrivals(reqs, traffic, 17);
+
+                for (SchedPolicyKind kind :
+                     {SchedPolicyKind::Fifo,
+                      SchedPolicyKind::TierPriority}) {
+                    EngineOptions opts;
+                    opts.allocator = AllocatorKind::LazyChunk;
+                    opts.stepModel = StepModel::EventDriven;
+                    opts.prefillChunkTokens = chunk;
+                    opts.sched.kind = kind;
+                    auto r = ServingEngine(cluster, model, timed, opts)
+                                 .run();
+                    double t0_gap = 0.0, t1_gap = 0.0, t0_ttft = 0.0;
+                    for (const auto &cl : r.classLatencies) {
+                        if (cl.tier == 0) {
+                            t0_gap = cl.p95TokenGapSeconds;
+                            t0_ttft = cl.p95FirstTokenSeconds;
+                        } else if (cl.tier == 1) {
+                            t1_gap = cl.p95TokenGapSeconds;
+                        }
+                    }
+                    t.addRow({std::to_string(ctx),
+                              TablePrinter::fmt(rate, 1),
+                              TablePrinter::fmt(frac * 100.0, 0),
+                              schedPolicyName(kind),
+                              TablePrinter::fmt(r.tokensPerSecond, 1),
+                              TablePrinter::fmt(t0_gap * 1e3, 1),
+                              TablePrinter::fmt(t1_gap * 1e3, 1),
+                              TablePrinter::fmt(t0_ttft, 2),
+                              std::to_string(r.tierInversions),
+                              std::to_string(r.decodePreemptSlices)});
+                    if (args.json) {
+                        json.beginRow();
+                        json.field("context_tokens",
+                                   static_cast<std::uint64_t>(ctx));
+                        json.field("rate_rps", rate);
+                        json.field("tier0_frac", frac);
+                        json.field("policy", schedPolicyName(kind));
+                        json.field("tokens_per_second",
+                                   r.tokensPerSecond);
+                        json.field("tier0_gap_p95_s", t0_gap);
+                        json.field("tier1_gap_p95_s", t1_gap);
+                        json.field("tier0_ttft_p95_s", t0_ttft);
+                        json.field("gap_p95_s", r.p95TokenGapSeconds);
+                        json.field("tier_inversions",
+                                   r.tierInversions);
+                        json.field("decode_preempt_slices",
+                                   r.decodePreemptSlices);
+                        json.field("chunk_slices", r.chunkSlices);
+                        json.field("slo_deferrals", r.sloDeferrals);
+                        json.field("sim_events", r.simEvents);
+                        for (const auto &to : r.tenantOccupancy) {
+                            std::string key =
+                                "tenant" + std::to_string(to.tenant) +
+                                "_avg_share";
+                            json.field(key.c_str(), to.avgTokenShare);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    t.print(std::cout);
+    if (args.json) {
+        if (json.writeFile(args.jsonPath))
+            std::cout << "wrote " << args.jsonPath << "\n";
+        else
+            std::cerr << "failed to write " << args.jsonPath << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv,
+        "per-request SLO class sweep (tier mix x rate x context)");
+    if (args.smoke)
+        sweep(8, 16, 2048, {0.5}, {1.5}, {30000}, args);
+    else
+        sweep(24, 48, 2048, {0.25, 0.5, 0.75}, {0.8, 1.2, 1.6},
+              {8000, 30000, 60000}, args);
+    return 0;
+}

@@ -9,13 +9,20 @@
 using namespace pimphony;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Table I: LLM specifications");
+    bench::JsonRows json("bench_table1_models");
     printBanner(std::cout, "Table I: LLM specification and context window");
 
-    TablePrinter t({"Model", "n_l", "n_h", "d_h", "d_model", "d_ffn", "GQA",
-                    "KV heads", "CW", "params", "KV B/token"});
+    bench::MirroredTable t(
+
+        {"Model", "n_l", "n_h", "d_h", "d_model", "d_ffn", "GQA",
+                    "KV heads", "CW", "params", "KV B/token"},
+
+        args.json ? &json : nullptr);
     for (auto model :
          {LlmConfig::llm7b(false), LlmConfig::llm7b(true),
           LlmConfig::llm72b(false), LlmConfig::llm72b(true)}) {
@@ -35,5 +42,6 @@ main()
                   TablePrinter::fmtInt(model.kvBytesPerToken())});
     }
     t.print(std::cout);
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

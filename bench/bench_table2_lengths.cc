@@ -11,13 +11,20 @@
 using namespace pimphony;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Table II: context-length statistics");
+    bench::JsonRows json("bench_table2_lengths");
     printBanner(std::cout, "Table II: statistics of input context length");
 
-    TablePrinter t({"Task", "Suite", "paper mean", "ours", "paper std",
-                    "ours", "paper max", "ours", "paper min", "ours"});
+    bench::MirroredTable t(
+
+        {"Task", "Suite", "paper mean", "ours", "paper std",
+                    "ours", "paper max", "ours", "paper min", "ours"},
+
+        args.json ? &json : nullptr);
     for (TraceTask task : allTraceTasks()) {
         const auto &ref = traceTaskStats(task);
         TraceGenerator gen(task, 2026);
@@ -34,5 +41,6 @@ main()
                   TablePrinter::fmt(s.min(), 0)});
     }
     t.print(std::cout);
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

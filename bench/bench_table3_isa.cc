@@ -11,12 +11,19 @@
 using namespace pimphony;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Table III: ISA summary");
+    bench::JsonRows json("bench_table3_isa");
     printBanner(std::cout, "Table III: PIM instructions for LLM inference");
 
-    TablePrinter t({"Instruction", "Description", "Arguments"});
+    bench::MirroredTable t(
+
+        {"Instruction", "Description", "Arguments"},
+
+        args.json ? &json : nullptr);
     t.addRow({"WR-INP", "copy input from GPR to GBuf",
               "Ch-mask Op-size GPR-addr GBuf-Idx"});
     t.addRow({"MAC", "dot-product on a DRAM row",
@@ -47,5 +54,6 @@ main()
     std::cout << "  validation: "
               << (stream.validate(64, 16).empty() ? "ok" : "FAILED")
               << "\n";
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -10,14 +10,21 @@
 using namespace pimphony;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, "Table IV: evaluated system configurations");
+    bench::JsonRows json("bench_table4_configs");
     printBanner(std::cout, "Table IV: PIMphony module configurations");
 
-    TablePrinter t({"System", "Compute", "Channels/module",
+    bench::MirroredTable t(
+
+        {"System", "Compute", "Channels/module",
                     "Memory/module", "Internal BW/module", "7B deploy",
-                    "72B deploy"});
+                    "72B deploy"},
+
+        args.json ? &json : nullptr);
     {
         auto c7 = ClusterConfig::centLike(LlmConfig::llm7b(false));
         auto c72 = ClusterConfig::centLike(LlmConfig::llm72b(false));
@@ -53,5 +60,6 @@ main()
                       " GiB)"});
     }
     t.print(std::cout);
+    bench::writeJsonIfRequested(json, args);
     return 0;
 }

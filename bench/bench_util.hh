@@ -9,6 +9,7 @@
 #ifndef PIMPHONY_BENCH_BENCH_UTIL_HH
 #define PIMPHONY_BENCH_BENCH_UTIL_HH
 
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -187,6 +188,97 @@ class JsonRows
     std::string bench_;
     std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
+
+/**
+ * A TablePrinter that mirrors every row into a shared JsonRows (when
+ * one is attached): cell strings are keyed by a sanitized form of
+ * the column header (lowercase, non-alphanumerics collapsed to '_'),
+ * plus an optional "section" field when one bench prints several
+ * tables. This is how the legacy figure/table harnesses expose
+ * machine-readable rows without restructuring their sweep loops —
+ * values stay formatted strings; downstream tooling selects by key.
+ */
+class MirroredTable
+{
+  public:
+    MirroredTable(const std::vector<std::string> &headers, JsonRows *json,
+                  std::string section = "")
+        : table_(headers), json_(json), section_(std::move(section))
+    {
+        keys_.reserve(headers.size());
+        std::vector<std::string> bases;
+        bases.reserve(headers.size());
+        for (const auto &h : headers) {
+            std::string base = sanitizeKey(h);
+            // Repeated headers (e.g. a paper-vs-ours table) get a
+            // positional suffix so the JSON object keys stay unique;
+            // only exact base-key repeats collide.
+            unsigned n = 0;
+            for (const auto &b : bases)
+                if (b == base)
+                    ++n;
+            bases.push_back(base);
+            if (n > 0)
+                base += "_" + std::to_string(n + 1);
+            keys_.push_back(std::move(base));
+        }
+    }
+
+    void
+    addRow(const std::vector<std::string> &cells)
+    {
+        table_.addRow(cells);
+        if (!json_)
+            return;
+        json_->beginRow();
+        if (!section_.empty())
+            json_->field("section", section_);
+        for (std::size_t i = 0; i < cells.size() && i < keys_.size();
+             ++i)
+            json_->field(keys_[i].c_str(), cells[i]);
+    }
+
+    void print(std::ostream &os) { table_.print(os); }
+
+    static std::string
+    sanitizeKey(const std::string &header)
+    {
+        std::string key;
+        key.reserve(header.size());
+        bool last_us = false;
+        for (char c : header) {
+            if (std::isalnum(static_cast<unsigned char>(c))) {
+                key.push_back(static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c))));
+                last_us = false;
+            } else if (!key.empty() && !last_us) {
+                key.push_back('_');
+                last_us = true;
+            }
+        }
+        while (!key.empty() && key.back() == '_')
+            key.pop_back();
+        return key.empty() ? "col" : key;
+    }
+
+  private:
+    TablePrinter table_;
+    JsonRows *json_;
+    std::string section_;
+    std::vector<std::string> keys_;
+};
+
+/** Write @p json to args.jsonPath when --json was requested. */
+inline void
+writeJsonIfRequested(const JsonRows &json, const BenchArgs &args)
+{
+    if (!args.json)
+        return;
+    if (json.writeFile(args.jsonPath))
+        std::cout << "wrote " << args.jsonPath << "\n";
+    else
+        std::cerr << "failed to write " << args.jsonPath << "\n";
+}
 
 /** The four cumulative technique stacks every throughput figure uses. */
 inline std::vector<PimphonyOptions>

@@ -79,6 +79,73 @@ policySelection()
                 "cost of the TTFT tail.\n");
 }
 
+/**
+ * Multi-tenant tiers: the same bursty trace split into an
+ * interactive tier (tier 0, tight gap SLO) and a batch tier (tier 1)
+ * for two tenants with equal admission budgets. tier-priority gives
+ * tier 0 strict precedence on the xPU timelines — overtaking queued
+ * tier-1 decode work and slicing in-flight tier-1 items at the
+ * tier quantum — and the engine reports per-tier percentiles and
+ * per-tenant occupancy.
+ */
+void
+requestClasses()
+{
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::neupimsLike(model);
+    cluster.plan = ParallelPlan{cluster.nModules / 2, 2};
+    applyOptions(cluster, PimphonyOptions::all());
+
+    RequestClass interactive;           // chat: tier 0, 50 ms gap SLO
+    interactive.gapSloSeconds = 0.05;
+    RequestClass batch;                 // summarization: tier 1
+    batch.tier = 1;
+    batch.tenant = 1;
+    batch.gapSloSeconds = 0.5;
+
+    std::vector<Request> reqs;
+    for (RequestId i = 0; i < 32; ++i)
+        reqs.push_back({i, 30000, 64});
+    assignRequestClassesRoundRobin(reqs, {interactive, batch});
+    OnOffTraffic traffic;
+    traffic.onRate = 4.0;
+    traffic.meanOnSeconds = 2.0;
+    traffic.meanOffSeconds = 4.0;
+    auto timed = onOffArrivals(reqs, traffic, 17);
+
+    EngineOptions opts;
+    opts.allocator = AllocatorKind::LazyChunk;
+    opts.stepModel = StepModel::EventDriven;
+    opts.prefillChunkTokens = 2048;
+    opts.sched.kind = SchedPolicyKind::TierPriority;
+    opts.tenantBudgets = {{0, 0.5}, {1, 0.5}};
+    auto r = ServingEngine(cluster, model, timed, opts).run();
+
+    std::printf("\nrequest classes under tier-priority (PP=2, equal "
+                "tenant budgets):\n\n");
+    std::printf("%6s %10s %14s %14s %11s\n", "tier", "requests",
+                "gap p95 (ms)", "ttft p95 (s)", "target met");
+    for (const auto &cl : r.classLatencies)
+        std::printf("%6u %10llu %14.1f %14.2f %11s\n", cl.tier,
+                    static_cast<unsigned long long>(cl.requests),
+                    cl.p95TokenGapSeconds * 1e3,
+                    cl.p95FirstTokenSeconds,
+                    cl.p95TokenGapSeconds <= cl.gapSloTargetSeconds
+                        ? "yes" : "no");
+    std::printf("\n%8s %10s %12s %12s\n", "tenant", "budget",
+                "avg share", "peak share");
+    for (const auto &to : r.tenantOccupancy)
+        std::printf("%8u %9.0f%% %11.1f%% %11.1f%%\n", to.tenant,
+                    to.budgetShare * 1e2, to.avgTokenShare * 1e2,
+                    to.peakTokenShare * 1e2);
+    std::printf("\ndecode-side preemption sliced lower-tier work %llu "
+                "times (charge conserved);\ntier inversions observed: "
+                "%llu, worst inversion wait %.1f ms\n",
+                static_cast<unsigned long long>(r.decodePreemptSlices),
+                static_cast<unsigned long long>(r.tierInversions),
+                r.maxTierInversionWaitSeconds * 1e3);
+}
+
 } // namespace
 
 int
@@ -123,5 +190,6 @@ main()
                 "explodes first.\n");
 
     policySelection();
+    requestClasses();
     return 0;
 }

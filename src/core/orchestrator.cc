@@ -55,6 +55,7 @@ PimphonyOrchestrator::runPlan(const std::vector<Request> &requests,
     opts.prefillChunkTokens = config_.prefillChunkTokens;
     opts.chargePrefill = config_.chargePrefill;
     opts.sched = config_.sched;
+    opts.tenantBudgets = config_.tenantBudgets;
     opts.maxSteps = config_.maxSteps;
     ServingEngine engine(c, config_.model, requests, opts);
     EvaluationResult out;

@@ -53,6 +53,13 @@ struct OrchestratorConfig
      */
     SchedPolicyConfig sched;
 
+    /**
+     * Per-tenant admission budgets (see EngineOptions::tenantBudgets
+     * and TenantBudget): token-capacity shares with work-conserving
+     * borrowing. Empty disables tenant accounting.
+     */
+    std::vector<TenantBudget> tenantBudgets;
+
     /** Module-count override (0 = the preset's deployment size). */
     unsigned modulesOverride = 0;
 

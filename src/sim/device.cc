@@ -124,8 +124,27 @@ QueuedDevice::pump(EventQueue &queue)
         !(quantum > 0.0 && p.remaining > quantum * (1.0 + 1e-9));
     double serve = sliceIsFinal_ ? p.remaining : quantum;
 
-    if (p.item.kind == WorkItem::Kind::DecodeCycle)
-        maxDecodeWait_ = std::max(maxDecodeWait_, now - p.ready);
+    if (p.item.kind == WorkItem::Kind::DecodeCycle) {
+        // Wait metrics are recorded only on an item's FIRST dispatch:
+        // a quantum-sliced decode item's resumes would otherwise
+        // count its own earlier service as queueing delay.
+        if (p.item.servedSeconds == 0.0) {
+            double wait = now - p.ready;
+            maxDecodeWait_ = std::max(maxDecodeWait_, wait);
+            // A decode item that waited while the previous dispatch
+            // was decode work of a worse tier sat in a tier
+            // inversion; tier-aware quantum slicing bounds this wait.
+            if (wait > 0.0 && lastWasDecode_ &&
+                lastDecodeTier_ > p.item.tier) {
+                ++tierInversions_;
+                maxTierInvWait_ = std::max(maxTierInvWait_, wait);
+            }
+        }
+        lastWasDecode_ = true;
+        lastDecodeTier_ = p.item.tier;
+    } else {
+        lastWasDecode_ = false;
+    }
 
     inService_ = true;
     serviceSeq_ = p.seq;
@@ -167,6 +186,8 @@ QueuedDevice::finishSlice(EventQueue &queue, double t)
         p.remaining -= sliceSeconds_;
         ++p.item.slices;
         ++slices_;
+        if (p.item.kind == WorkItem::Kind::DecodeCycle)
+            ++decodeSlices_;
     }
     pump(queue);
 }

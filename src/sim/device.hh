@@ -167,8 +167,26 @@ class QueuedDevice : public Device
     /** Preemption splits (dispatches that left a remainder queued). */
     std::uint64_t preemptionSlices() const { return slices_; }
 
+    /** Preemption splits of DecodeCycle-kind items only (tier-aware
+     *  policies slice lower-tier in-flight decode work). */
+    std::uint64_t decodePreemptionSlices() const { return decodeSlices_; }
+
     /** Dispatches that overtook earlier-queued eligible work. */
     std::uint64_t overtakes() const { return overtakes_; }
+
+    /**
+     * Tier inversions observed at dispatch time: a DecodeCycle item
+     * started after waiting, and the dispatch immediately before it
+     * was a decode item of a strictly worse (numerically greater)
+     * tier — the occupant the waiter was inverted behind.
+     * Tier-aware slicing bounds the wait of each such inversion (see
+     * maxTierInversionWaitSeconds); a FIFO arbiter lets it grow to a
+     * whole service.
+     */
+    std::uint64_t tierInversions() const { return tierInversions_; }
+
+    /** Worst queueing delay among the tier inversions counted above. */
+    double maxTierInversionWaitSeconds() const { return maxTierInvWait_; }
 
     /**
      * Worst queueing delay (start - ready) of a DecodeCycle-kind
@@ -217,8 +235,13 @@ class QueuedDevice : public Device
     std::uint64_t completed_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t slices_ = 0;
+    std::uint64_t decodeSlices_ = 0;
     std::uint64_t overtakes_ = 0;
+    std::uint64_t tierInversions_ = 0;
     double maxDecodeWait_ = 0.0;
+    double maxTierInvWait_ = 0.0;
+    bool lastWasDecode_ = false;
+    std::uint32_t lastDecodeTier_ = 0;
 };
 
 } // namespace sim

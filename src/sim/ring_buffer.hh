@@ -30,6 +30,36 @@ class RingQueue
         return slots_[head_];
     }
 
+    /** The i-th queued element (0 = front). */
+    T &
+    at(std::size_t i)
+    {
+        return slots_[(head_ + i) & (slots_.size() - 1)];
+    }
+
+    /**
+     * Remove and return the i-th element, preserving the order of
+     * the rest. i == 0 is the O(1) pop fast path (the common FIFO
+     * pick); interior removal shifts the O(n - i) tail — selection
+     * queues stay tiny.
+     */
+    T
+    takeAt(std::size_t i)
+    {
+        T out = std::move(at(i));
+        if (i == 0) {
+            slots_[head_] = T{};
+            head_ = (head_ + 1) & (slots_.size() - 1);
+            --count_;
+            return out;
+        }
+        for (std::size_t j = i; j + 1 < count_; ++j)
+            at(j) = std::move(at(j + 1));
+        slots_[(head_ + count_ - 1) & (slots_.size() - 1)] = T{};
+        --count_;
+        return out;
+    }
+
     void
     push(T &&v)
     {

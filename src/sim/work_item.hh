@@ -69,6 +69,16 @@ struct WorkItem
      * charge was re-queued and re-planned after each quantum.
      */
     std::uint32_t slices = 1;
+
+    /**
+     * Latency tier of the work (0 = most latency-sensitive, the
+     * default). Decode cycles carry the best (lowest) tier of their
+     * cohort's members; prefill chunks carry their request's tier.
+     * Tier-aware arbiters serve lower values first and may slice a
+     * lower-tier in-flight item to bound how long a higher tier is
+     * inverted behind it.
+     */
+    std::uint32_t tier = 0;
 };
 
 } // namespace sim

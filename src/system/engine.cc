@@ -65,10 +65,157 @@ ServingEngine::ServingEngine(const ClusterConfig &cluster,
     result_.firstTokenLatency.reserve(requests.size());
     for (auto &r : requests)
         pending_.push_back(r);
+
+    // Request-class / tenant-budget activation. Both stay fully
+    // inert — no extra bookkeeping on any path — when every request
+    // carries the default class and no budgets are configured, so
+    // the pre-tier engine is reproduced bit for bit.
+    budgetsActive_ = !options_.tenantBudgets.empty();
+    capacityTokens_ = static_cast<double>(allocator_->capacity()) /
+                      static_cast<double>(model_.kvBytesPerToken());
+    for (const auto &timed : pending_) {
+        const RequestClass &cls = timed.request.cls;
+        if (!cls.isDefault())
+            classesActive_ = true;
+        if (cls.tenant != 0)
+            tenantsActive_ = true;
+    }
+    tenantsActive_ = tenantsActive_ || budgetsActive_;
+    if (classesActive_) {
+        std::map<unsigned, Tokens> tier_decode;
+        for (const auto &timed : pending_) {
+            const RequestClass &cls = timed.request.cls;
+            TierState &ts = tiers_[cls.tier];
+            ++ts.requests;
+            tier_decode[cls.tier] += timed.request.decodeTokens;
+            // First explicit per-class target wins; tiers without
+            // one are judged against the policy-wide default.
+            if (ts.target == 0.0 && cls.gapSloSeconds > 0.0)
+                ts.target = cls.gapSloSeconds;
+        }
+        for (auto &kv : tiers_) {
+            if (kv.second.target == 0.0)
+                kv.second.target = options_.sched.sloTargetGapSeconds;
+            // Pre-size the per-tier samples like the aggregate
+            // vectors above, so the decode path never reallocates
+            // mid-run.
+            kv.second.ttfts.reserve(kv.second.requests);
+            kv.second.gaps.reserve(tier_decode[kv.first]);
+        }
+    }
+    if (budgetsActive_) {
+        double total_share = 0.0;
+        for (const TenantBudget &b : options_.tenantBudgets) {
+            TenantState &ts = tenants_[b.tenant];
+            ts.budgetTokens = b.share * capacityTokens_;
+            total_share += b.share;
+        }
+        if (total_share > 1.0 + 1e-9)
+            warn("tenant budget shares sum to %.3f > 1; guarantees "
+                 "cannot all hold under saturation",
+                 total_share);
+    }
+    if (tenantsActive_)
+        for (const auto &timed : pending_)
+            (void)tenantState(timed.request.cls.tenant);
+}
+
+ServingEngine::TenantState &
+ServingEngine::tenantState(unsigned tenant)
+{
+    return tenants_[tenant];
+}
+
+bool
+ServingEngine::budgetAdmits(unsigned tenant, double need,
+                            bool allow_borrow)
+{
+    TenantState &ts = tenantState(tenant);
+    if (ts.reservedTokens + need <= ts.budgetTokens)
+        return true; // within the guarantee
+    if (allow_borrow)
+        return true; // borrowing from idle headroom (work conserving)
+    ++ts.deferrals;
+    ++result_.budgetDeferrals;
+    return false;
+}
+
+void
+ServingEngine::tenantReserve(const Request &request)
+{
+    if (!tenantsActive_)
+        return;
+    TenantState &ts = tenantState(request.cls.tenant);
+    ts.reservedTokens += static_cast<double>(request.contextTokens +
+                                             request.decodeTokens);
+    ++ts.admitted;
+    if (capacityTokens_ > 0.0)
+        ts.peakShare = std::max(ts.peakShare,
+                                ts.reservedTokens / capacityTokens_);
+}
+
+void
+ServingEngine::tenantRelease(const Request &request)
+{
+    if (!tenantsActive_)
+        return;
+    TenantState &ts = tenantState(request.cls.tenant);
+    ts.reservedTokens -= static_cast<double>(request.contextTokens +
+                                             request.decodeTokens);
+    if (ts.reservedTokens < 0.0)
+        ts.reservedTokens = 0.0;
+}
+
+void
+ServingEngine::integrateTenantShares(double dt)
+{
+    if (!tenantsActive_ || dt <= 0.0 || capacityTokens_ <= 0.0)
+        return;
+    for (auto &kv : tenants_)
+        kv.second.shareSeconds +=
+            dt * kv.second.reservedTokens / capacityTokens_;
+}
+
+std::set<unsigned>
+ServingEngine::entitledTenantsWaiting(
+    const std::deque<TimedRequest> &queue, double now) const
+{
+    std::set<unsigned> out;
+    if (!budgetsActive_)
+        return out;
+    for (const auto &timed : queue) {
+        // Mostly arrival-sorted, but preempted requests requeue at
+        // the back with their original (past) arrival — keep
+        // scanning past future traffic rather than stopping at it.
+        if (timed.arrivalSeconds > now)
+            continue;
+        const RequestClass &cls = timed.request.cls;
+        if (out.count(cls.tenant))
+            continue;
+        auto it = tenants_.find(cls.tenant);
+        if (it == tenants_.end())
+            continue;
+        double need = static_cast<double>(timed.request.contextTokens +
+                                          timed.request.decodeTokens);
+        if (it->second.reservedTokens + need <= it->second.budgetTokens)
+            out.insert(cls.tenant);
+    }
+    return out;
+}
+
+bool
+ServingEngine::entitledElsewhere(const std::set<unsigned> &entitled,
+                                 unsigned tenant)
+{
+    for (unsigned u : entitled)
+        if (u != tenant)
+            return true;
+    return false;
 }
 
 ServingEngine::AdmitOutcome
-ServingEngine::tryAdmitOne(const TimedRequest &timed, double &prefill_sec)
+ServingEngine::tryAdmitOne(const TimedRequest &timed, double &prefill_sec,
+                           bool allow_borrow)
 {
     prefill_sec = 0.0;
     const Request &front = timed.request;
@@ -80,12 +227,19 @@ ServingEngine::tryAdmitOne(const TimedRequest &timed, double &prefill_sec)
         ++result_.rejectedRequests;
         return AdmitOutcome::Rejected;
     }
+    // Tenant budget: within the guarantee always admissible (memory
+    // permitting); beyond it only while borrowing is allowed.
+    if (budgetsActive_ &&
+        !budgetAdmits(front.cls.tenant,
+                      static_cast<double>(final_tokens), allow_borrow))
+        return AdmitOutcome::BudgetBlocked;
     // Headroom: only admit when the full decode trajectory fits
     // next to the current reservations (avoids preemption storms).
     if (allocator_->reservedBytes() + need > allocator_->capacity())
         return AdmitOutcome::Blocked;
     if (!allocator_->tryAdmit(front.id, front.contextTokens))
         return AdmitOutcome::Blocked;
+    tenantReserve(front);
     if (options_.chargePrefill || options_.prefillChunkTokens > 0) {
         prefill_sec = prefillSeconds(model_, front.contextTokens,
                                      cluster_.xpu,
@@ -104,6 +258,7 @@ ServingEngine::advanceMember(Active &a, double completion_clock,
         // Out of memory: preempt (vLLM-style recompute); the
         // request re-queues with its original arrival time.
         allocator_->release(a.request.id);
+        tenantRelease(a.request);
         ++result_.preemptions;
         requeue.push_back({a.request, a.arrival});
         return false;
@@ -114,18 +269,30 @@ ServingEngine::advanceMember(Active &a, double completion_clock,
         double ttft = completion_clock - a.arrival;
         // First admission wins: a preempted-and-recomputed request
         // keeps the TTFT of its first emitted token.
-        if (result_.firstTokenLatency.emplace(a.request.id, ttft).second)
+        if (result_.firstTokenLatency.emplace(a.request.id, ttft).second) {
             firstTokenLatencies_.push_back(ttft);
+            if (classesActive_)
+                tiers_[a.request.cls.tier].ttfts.push_back(ttft);
+        }
     } else if (a.lastTokenAt >= 0.0) {
         double gap = completion_clock - a.lastTokenAt;
         tokenGaps_.push_back(gap);
         if (gapWindow_)
             gapWindow_->add(gap);
+        if (classesActive_) {
+            TierState &ts = tiers_[a.request.cls.tier];
+            ts.gaps.push_back(gap);
+            if (ts.window)
+                ts.window->add(gap);
+        }
     }
     a.lastTokenAt = completion_clock;
     if (a.generated >= a.request.decodeTokens) {
         allocator_->release(a.request.id);
+        tenantRelease(a.request);
         ++result_.completedRequests;
+        if (classesActive_)
+            ++tiers_[a.request.cls.tier].completed;
         latencies_.push_back(completion_clock - a.arrival);
         return false;
     }
@@ -135,19 +302,58 @@ ServingEngine::advanceMember(Active &a, double completion_clock,
 void
 ServingEngine::admit()
 {
-    while (!pending_.empty()) {
-        const TimedRequest &timed = pending_.front();
-        if (timed.arrivalSeconds > result_.simulatedSeconds)
-            break; // not yet arrived (open loop)
+    if (!budgetsActive_) {
+        while (!pending_.empty()) {
+            const TimedRequest &timed = pending_.front();
+            if (timed.arrivalSeconds > result_.simulatedSeconds)
+                break; // not yet arrived (open loop)
+            double prefill_sec = 0.0;
+            AdmitOutcome outcome = tryAdmitOne(timed, prefill_sec);
+            if (outcome == AdmitOutcome::Blocked)
+                break;
+            if (outcome == AdmitOutcome::Admitted) {
+                result_.simulatedSeconds += prefill_sec;
+                integrateTenantShares(prefill_sec);
+                active_.push_back(
+                    {timed.request, 0, timed.arrivalSeconds});
+            }
+            pending_.pop_front();
+        }
+        return;
+    }
+    // Budget-aware admission scans past over-budget tenants so one
+    // saturating tenant cannot head-of-line block the others; a
+    // memory block still halts the scan (releases are what clear
+    // it).
+    std::set<unsigned> entitled =
+        entitledTenantsWaiting(pending_, result_.simulatedSeconds);
+    for (std::size_t i = 0; i < pending_.size();) {
+        const TimedRequest &timed = pending_[i];
+        if (timed.arrivalSeconds > result_.simulatedSeconds) {
+            // Mostly arrival-sorted, but preempted requests requeue
+            // at the back with past arrivals — skip future traffic
+            // instead of stopping at it.
+            ++i;
+            continue;
+        }
+        bool allow_borrow =
+            !entitledElsewhere(entitled, timed.request.cls.tenant);
         double prefill_sec = 0.0;
-        AdmitOutcome outcome = tryAdmitOne(timed, prefill_sec);
+        AdmitOutcome outcome =
+            tryAdmitOne(timed, prefill_sec, allow_borrow);
         if (outcome == AdmitOutcome::Blocked)
             break;
+        if (outcome == AdmitOutcome::BudgetBlocked) {
+            ++i;
+            continue;
+        }
         if (outcome == AdmitOutcome::Admitted) {
             result_.simulatedSeconds += prefill_sec;
+            integrateTenantShares(prefill_sec);
             active_.push_back({timed.request, 0, timed.arrivalSeconds});
         }
-        pending_.pop_front();
+        pending_.erase(pending_.begin() +
+                       static_cast<std::ptrdiff_t>(i));
     }
 }
 
@@ -343,6 +549,8 @@ ServingEngine::runAnalytic()
             if (pending_.front().arrivalSeconds >
                 result_.simulatedSeconds) {
                 // Open loop: idle until the next arrival.
+                integrateTenantShares(pending_.front().arrivalSeconds -
+                                      result_.simulatedSeconds);
                 result_.simulatedSeconds =
                     pending_.front().arrivalSeconds;
                 admit();
@@ -361,6 +569,7 @@ ServingEngine::runAnalytic()
         result_.simulatedSeconds += sec;
         batch_time += sec * static_cast<double>(active_.size());
         capacity_time += sec * allocator_->capacityUtilization();
+        integrateTenantShares(sec);
 
         // Advance every active request by one token, compacting the
         // survivors in place (same order as the former copy into a
@@ -400,10 +609,19 @@ ServingEngine::runEventDriven()
     std::unique_ptr<SchedPolicy> policy = makeSchedPolicy(options_.sched);
     // Policies steering on the gap signal read a streaming windowed
     // p95 (fed by advanceMember) instead of copying and sorting the
-    // window every decode cycle.
-    if (policy->needsGapSignal() && options_.sched.sloWindow > 0)
-        gapWindow_ = std::make_unique<WindowedQuantile>(
-            options_.sched.sloWindow, 95.0);
+    // window every decode cycle. With request classes attached the
+    // gate is per tier: each tier gets its own window, judged
+    // against its own target (advanceMember routes gaps by tier).
+    if (policy->needsGapSignal() && options_.sched.sloWindow > 0) {
+        if (classesActive_) {
+            for (auto &kv : tiers_)
+                kv.second.window = std::make_unique<WindowedQuantile>(
+                    options_.sched.sloWindow, 95.0);
+        } else {
+            gapWindow_ = std::make_unique<WindowedQuantile>(
+                options_.sched.sloWindow, 95.0);
+        }
+    }
     // Every stage carries an xPU timeline: in XpuPim mode it serves
     // decode FC shares and prefill chunks; in PimOnly mode only the
     // prefill chunks (the PNM compute engines) land there.
@@ -457,6 +675,7 @@ ServingEngine::runEventDriven()
         double dt = t - last_account;
         batch_time += dt * activeCount();
         capacity_time += dt * allocator_->capacityUtilization();
+        integrateTenantShares(dt);
         last_account = t;
         end_time = std::max(end_time, t);
     };
@@ -471,6 +690,20 @@ ServingEngine::runEventDriven()
     std::function<void(Cohort &, double)> onCycleComplete;
     std::function<void(double)> formNewCohorts;
     std::function<void(Active, double)> startPrefill;
+
+    // Tier-segregated refills: order the pool by tier (stable, so
+    // survivors keep precedence inside a tier) and the next take
+    // forms the most tier-pure cohort the pool allows — higher
+    // tiers decode in cohorts the tier-aware arbiters can favor.
+    auto sortReadyPoolByTier = [&]() {
+        if (!classesActive_)
+            return;
+        std::stable_sort(ready_pool.begin(), ready_pool.end(),
+                         [](const Active &a, const Active &b) {
+                             return a.request.cls.tier <
+                                    b.request.cls.tier;
+                         });
+    };
 
     // Chunked prefill: the admitted request enters a Prefilling
     // state (memory held, not decoding) while its chunks traverse
@@ -501,6 +734,7 @@ ServingEngine::runEventDriven()
                 row[s].kind = sim::WorkItem::Kind::PrefillChunk;
                 row[s].request = a.request.id;
                 row[s].chunk = static_cast<std::uint32_t>(k);
+                row[s].tier = a.request.cls.tier;
                 row[s].seconds = chunk_secs[k] * engine_scale *
                                  stageLayers(model_.nLayers, pp, s) /
                                  layers_total;
@@ -528,6 +762,50 @@ ServingEngine::runEventDriven()
         return gapWindow_ ? gapWindow_->size() : 0;
     };
 
+    // Per-class gate inputs: whether a tier has decode work in
+    // flight (a tier's gate may only bind while its own gaps can
+    // still be produced, or a stale window would deadlock that
+    // tier's admissions), and the per-class gate itself — a prefill
+    // of tier T defers while any tier T' <= T (equal or higher
+    // priority) exceeds its own target on its own window, so
+    // admitting lower-priority work can never break a higher tier's
+    // SLO, while a high-priority prefill is not held hostage by a
+    // struggling lower tier. The in-flight flags are hoisted per
+    // admission scan (cohort membership cannot change mid-scan).
+    std::set<unsigned> scanTiersInFlight;
+    auto refreshTiersInFlight = [&]() {
+        scanTiersInFlight.clear();
+        for (const auto &c : cohorts)
+            for (const auto &m : c.members)
+                scanTiersInFlight.insert(m.request.cls.tier);
+    };
+    auto tierDecodeInFlight = [&](unsigned tier) {
+        return scanTiersInFlight.count(tier) > 0;
+    };
+    auto classGateDefers = [&](const RequestClass &cls) {
+        if (!policy->needsGapSignal())
+            return !policy->admitPrefill(0.0, 0, inFlightCount() > 0);
+        // Budgets configured but every request default-class: there
+        // are no per-tier windows, so the gate reads the global one
+        // exactly as the single-class path does.
+        if (tiers_.empty())
+            return !policy->admitPrefill(recentGapP95(), gapSamples(),
+                                         inFlightCount() > 0);
+        for (auto &kv : tiers_) {
+            if (kv.first > cls.tier)
+                break; // ascending map: only tiers <= T guard T
+            const TierState &ts = kv.second;
+            if (!ts.window)
+                continue;
+            if (!policy->admitPrefillAt(ts.window->value(),
+                                        ts.window->size(),
+                                        tierDecodeInFlight(kv.first),
+                                        ts.target))
+                return true;
+        }
+        return false;
+    };
+
     // Admission under the same per-request rules as the analytic
     // path (tryAdmitOne); admitted requests reach the ready pool
     // once decode-ready (immediately, or after prefill chunks). The
@@ -535,23 +813,79 @@ ServingEngine::runEventDriven()
     // the (FIFO) admission queue until the SLO signal recovers,
     // re-checked at every cycle completion.
     auto admitArrivals = [&](double now) {
-        while (!arrived.empty()) {
-            if (chunked && arrived.front().request.contextTokens > 0 &&
-                !policy->admitPrefill(
-                    policy->needsGapSignal() ? recentGapP95() : 0.0,
-                    gapSamples(), inFlightCount() > 0)) {
-                ++result_.sloDeferrals;
-                break;
+        if (!classesActive_ && !budgetsActive_) {
+            // Single-class path: plain FIFO admission, bit-identical
+            // to the pre-tier engine.
+            while (!arrived.empty()) {
+                if (chunked &&
+                    arrived.front().request.contextTokens > 0 &&
+                    !policy->admitPrefill(
+                        policy->needsGapSignal() ? recentGapP95() : 0.0,
+                        gapSamples(), inFlightCount() > 0)) {
+                    ++result_.sloDeferrals;
+                    break;
+                }
+                TimedRequest timed = arrived.front();
+                double prefill_sec = 0.0;
+                AdmitOutcome outcome = tryAdmitOne(timed, prefill_sec);
+                if (outcome == AdmitOutcome::Blocked)
+                    break;
+                arrived.pop_front();
+                if (outcome != AdmitOutcome::Admitted)
+                    continue;
+                Active a{timed.request, 0, timed.arrivalSeconds, -1.0};
+                if (chunked) {
+                    startPrefill(std::move(a), now);
+                } else {
+                    prefill_ready =
+                        std::max(prefill_ready, now) + prefill_sec;
+                    ready_pool.push_back(std::move(a));
+                }
             }
-            TimedRequest timed = arrived.front();
+            return;
+        }
+        // Class/tenant-aware admission: the queue is scanned rather
+        // than strictly FIFO, so a gated tier or an over-budget
+        // tenant cannot head-of-line block the other classes. FIFO
+        // order is kept inside each (class, tenant) population; a
+        // memory block still halts the scan (only releases clear
+        // it).
+        if (classesActive_ && policy->needsGapSignal())
+            refreshTiersInFlight();
+        std::set<unsigned> entitled = entitledTenantsWaiting(arrived, now);
+        bool gate_deferred = false;
+        for (std::size_t i = 0; i < arrived.size();) {
+            const TimedRequest &timed = arrived[i];
+            if (chunked && timed.request.contextTokens > 0 &&
+                classGateDefers(timed.request.cls)) {
+                // Count at most one deferral per admission check, as
+                // the single-class path does, so the metric stays
+                // comparable across the two paths.
+                if (!gate_deferred) {
+                    ++result_.sloDeferrals;
+                    gate_deferred = true;
+                }
+                ++i;
+                continue;
+            }
+            bool allow_borrow =
+                !budgetsActive_ ||
+                !entitledElsewhere(entitled, timed.request.cls.tenant);
             double prefill_sec = 0.0;
-            AdmitOutcome outcome = tryAdmitOne(timed, prefill_sec);
+            AdmitOutcome outcome =
+                tryAdmitOne(timed, prefill_sec, allow_borrow);
             if (outcome == AdmitOutcome::Blocked)
                 break;
-            arrived.pop_front();
-            if (outcome != AdmitOutcome::Admitted)
+            if (outcome == AdmitOutcome::BudgetBlocked) {
+                ++i;
                 continue;
-            Active a{timed.request, 0, timed.arrivalSeconds, -1.0};
+            }
+            TimedRequest taken = timed;
+            arrived.erase(arrived.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            if (outcome != AdmitOutcome::Admitted)
+                continue; // Rejected: already counted
+            Active a{taken.request, 0, taken.arrivalSeconds, -1.0};
             if (chunked) {
                 startPrefill(std::move(a), now);
             } else {
@@ -569,11 +903,22 @@ ServingEngine::runEventDriven()
                              spc * cluster_.module.nChannels * tp;
         accountCycle(plan, span_cycles, acc);
 
+        // A cohort's decode items carry the best (lowest) tier of
+        // its members, so a mixed cohort is arbitrated at the
+        // priority of its most latency-sensitive member.
+        std::uint32_t cohort_tier = 0;
+        if (classesActive_ && !c.members.empty()) {
+            cohort_tier = c.members.front().request.cls.tier;
+            for (const Active &m : c.members)
+                cohort_tier = std::min(cohort_tier, m.request.cls.tier);
+        }
+
         cycle_items.assign(pp, sim::WorkItem{});
         for (unsigned s = 0; s < pp; ++s) {
             unsigned layers = stageLayers(model_.nLayers, pp, s);
             cycle_items[s].cohort = c.id;
             cycle_items[s].cycle = c.cycle;
+            cycle_items[s].tier = cohort_tier;
             cycle_items[s].seconds = plan.layerSeconds * layers;
             cycle_items[s].fcSeconds = plan.fcLayerSeconds * layers;
         }
@@ -618,6 +963,7 @@ ServingEngine::runEventDriven()
                               std::make_move_iterator(c.members.begin()),
                               std::make_move_iterator(c.members.end()));
             c.members.clear();
+            sortReadyPoolByTier();
             std::size_t others = inFlightCount();
             std::size_t total = others + ready_pool.size();
             std::size_t target = std::max<std::size_t>(
@@ -662,6 +1008,7 @@ ServingEngine::runEventDriven()
                 }
                 return;
             }
+            sortReadyPoolByTier();
             std::size_t total = inFlightCount() + ready_pool.size();
             std::size_t target = std::max<std::size_t>(
                 1, ceilDiv<std::size_t>(total, pp));
@@ -718,8 +1065,14 @@ ServingEngine::runEventDriven()
         XpuStageDevice *x = stages.stage(s).xpu();
         if (!x)
             continue;
-        result_.chunkSlices += x->preemptionSlices();
+        result_.chunkSlices += x->preemptionSlices() -
+                               x->decodePreemptionSlices();
+        result_.decodePreemptSlices += x->decodePreemptionSlices();
         result_.decodeOvertakes += x->overtakes();
+        result_.tierInversions += x->tierInversions();
+        result_.maxTierInversionWaitSeconds =
+            std::max(result_.maxTierInversionWaitSeconds,
+                     x->maxTierInversionWaitSeconds());
         result_.maxDecodeXpuWaitSeconds =
             std::max(result_.maxDecodeXpuWaitSeconds,
                      x->maxDecodeWaitSeconds());
@@ -770,6 +1123,44 @@ ServingEngine::finalizeResult(const ChannelAccum &acc, double batch_time,
               result_.p95FirstTokenSeconds);
     summarize(tokenGaps_, result_.avgTokenGapSeconds,
               result_.p95TokenGapSeconds);
+
+    // Per-class and per-tenant summaries (classes / budgets only;
+    // both vectors stay empty on the strictly-additive default
+    // path).
+    if (classesActive_) {
+        result_.classLatencies.reserve(tiers_.size());
+        for (auto &kv : tiers_) {
+            EngineResult::ClassLatency cl;
+            cl.tier = kv.first;
+            cl.gapSloTargetSeconds = kv.second.target;
+            cl.requests = kv.second.requests;
+            cl.completedRequests = kv.second.completed;
+            summarize(kv.second.ttfts, cl.avgFirstTokenSeconds,
+                      cl.p95FirstTokenSeconds);
+            summarize(kv.second.gaps, cl.avgTokenGapSeconds,
+                      cl.p95TokenGapSeconds);
+            result_.classLatencies.push_back(cl);
+        }
+    }
+    if (tenantsActive_) {
+        result_.tenantOccupancy.reserve(tenants_.size());
+        for (auto &kv : tenants_) {
+            EngineResult::TenantOccupancy to;
+            to.tenant = kv.first;
+            to.budgetShare = capacityTokens_ > 0.0
+                                 ? kv.second.budgetTokens /
+                                       capacityTokens_
+                                 : 0.0;
+            to.avgTokenShare = result_.simulatedSeconds > 0.0
+                                   ? kv.second.shareSeconds /
+                                         result_.simulatedSeconds
+                                   : 0.0;
+            to.peakTokenShare = kv.second.peakShare;
+            to.admittedRequests = kv.second.admitted;
+            to.budgetDeferrals = kv.second.deferrals;
+            result_.tenantOccupancy.push_back(to);
+        }
+    }
 }
 
 EngineResult

@@ -34,7 +34,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +46,7 @@
 #include "system/cluster.hh"
 #include "system/sched_policy.hh"
 #include "workload/arrival.hh"
+#include "workload/request_class.hh"
 #include "workload/trace.hh"
 
 namespace pimphony {
@@ -58,6 +61,24 @@ enum class StepModel {
 };
 
 std::string stepModelName(StepModel model);
+
+/**
+ * Admission budget of one tenant: a guaranteed share of the KV token
+ * capacity. A tenant may always admit up to share * capacityTokens
+ * of reserved decode trajectories; beyond that it *borrows* — and
+ * borrowing is allowed only while no other tenant has an
+ * under-budget ("entitled") request waiting, so a saturating tenant
+ * can use an idle tenant's headroom (work conserving) but can never
+ * hold an active tenant below its guarantee as admissions churn.
+ * Tenants without a configured budget are borrow-only.
+ */
+struct TenantBudget
+{
+    unsigned tenant = 0;
+
+    /** Guaranteed fraction of the KV token capacity, in [0, 1]. */
+    double share = 0.0;
+};
 
 struct EngineOptions
 {
@@ -95,6 +116,16 @@ struct EngineOptions
      * timeline to arbitrate and ignores them.
      */
     SchedPolicyConfig sched;
+
+    /**
+     * Per-tenant admission budgets (token-capacity shares with
+     * work-conserving borrowing; see TenantBudget). Empty — the
+     * default — disables tenant accounting entirely: admission is
+     * the plain FIFO queue, bit for bit. With budgets set, admission
+     * scans past budget-blocked requests so one saturating tenant
+     * cannot head-of-line block the others.
+     */
+    std::vector<TenantBudget> tenantBudgets;
 };
 
 struct EngineResult
@@ -178,6 +209,73 @@ struct EngineResult
      * events-per-second trajectory metric.
      */
     std::uint64_t simEvents = 0;
+
+    // --- Request-class / multi-tenant metrics. Populated only when
+    // --- the workload carries non-default classes or budgets are
+    // --- configured; the subsystem is strictly additive otherwise.
+
+    /** Latency summary of one tier (classLatencies). */
+    struct ClassLatency
+    {
+        unsigned tier = 0;
+
+        /** Gap SLO target the tier was judged against (0 = none). */
+        double gapSloTargetSeconds = 0.0;
+
+        std::uint64_t requests = 0;
+        std::uint64_t completedRequests = 0;
+
+        double avgFirstTokenSeconds = 0.0;
+        double p95FirstTokenSeconds = 0.0;
+        double avgTokenGapSeconds = 0.0;
+        double p95TokenGapSeconds = 0.0;
+    };
+
+    /** Per-tier TTFT / decode-gap percentiles, ascending tier.
+     *  Empty when every request carries the default class. */
+    std::vector<ClassLatency> classLatencies;
+
+    /** Capacity occupancy of one tenant (tenantOccupancy). */
+    struct TenantOccupancy
+    {
+        unsigned tenant = 0;
+
+        /** Configured guarantee (0 for borrow-only tenants). */
+        double budgetShare = 0.0;
+
+        /** Time-averaged reserved-token fraction of capacity. */
+        double avgTokenShare = 0.0;
+
+        /** Peak reserved-token fraction of capacity. */
+        double peakTokenShare = 0.0;
+
+        std::uint64_t admittedRequests = 0;
+
+        /** Admission attempts deferred by the budget (borrow denied). */
+        std::uint64_t budgetDeferrals = 0;
+    };
+
+    /** Per-tenant admitted-capacity occupancy, ascending tenant id.
+     *  Empty unless budgets are configured or tenants are tagged. */
+    std::vector<TenantOccupancy> tenantOccupancy;
+
+    /** Admission attempts deferred by tenant budgets (all tenants). */
+    std::uint64_t budgetDeferrals = 0;
+
+    /**
+     * Tier inversions observed on the xPU timelines: a decode share
+     * dispatched after waiting behind a worse-tier decode share (see
+     * sim::QueuedDevice::tierInversions). Tier-aware preemption
+     * bounds each inversion's wait by its quantum.
+     */
+    std::uint64_t tierInversions = 0;
+
+    /** Worst tier-inversion wait (seconds) across the timelines. */
+    double maxTierInversionWaitSeconds = 0.0;
+
+    /** Decode-side preemption splits (lower-tier in-flight decode
+     *  items sliced by a tier-aware policy; charge conserved). */
+    std::uint64_t decodePreemptSlices = 0;
 };
 
 class ServingEngine
@@ -261,14 +359,17 @@ class ServingEngine
     /**
      * Per-request admission rule shared by both step models:
      * Rejected = can never be served here, Blocked = waits for
-     * memory, Admitted = reserved (with @p prefill_sec the scalar
-     * prefill charge when chargePrefill or prefillChunkTokens is
-     * set; the chunked event path apportions it over chunk items
-     * instead of spending it as a lump).
+     * memory, BudgetBlocked = the request's tenant is over budget
+     * and borrowing was denied (@p allow_borrow false; only with
+     * tenant budgets configured), Admitted = reserved (with
+     * @p prefill_sec the scalar prefill charge when chargePrefill or
+     * prefillChunkTokens is set; the chunked event path apportions
+     * it over chunk items instead of spending it as a lump).
      */
-    enum class AdmitOutcome { Admitted, Rejected, Blocked };
+    enum class AdmitOutcome { Admitted, Rejected, Blocked, BudgetBlocked };
     AdmitOutcome tryAdmitOne(const TimedRequest &timed,
-                             double &prefill_sec);
+                             double &prefill_sec,
+                             bool allow_borrow = true);
 
     /**
      * Advance @p a by the one token produced at @p completion_clock:
@@ -298,6 +399,67 @@ class ServingEngine
     void finalizeResult(const ChannelAccum &acc, double batch_time,
                         double capacity_time);
 
+    // --- Request-class / tenant-budget machinery (inactive — and
+    // --- bit-transparent — when the workload is single-class and no
+    // --- budgets are configured). -----------------------------------
+
+    /** Per-tier sample store and (optional) sliding SLO window. */
+    struct TierState
+    {
+        /** Gap SLO target (class target, else the policy default). */
+        double target = 0.0;
+
+        std::uint64_t requests = 0;
+        std::uint64_t completed = 0;
+        std::vector<double> ttfts;
+        std::vector<double> gaps;
+
+        /** Per-tier windowed p95 (gap-steered policies only). */
+        std::unique_ptr<WindowedQuantile> window;
+    };
+
+    /** Admission-budget accounting of one tenant. */
+    struct TenantState
+    {
+        double budgetTokens = 0.0;
+        double reservedTokens = 0.0;
+
+        /** Integral of reservedTokens/capacity over time. */
+        double shareSeconds = 0.0;
+        double peakShare = 0.0;
+        std::uint64_t admitted = 0;
+        std::uint64_t deferrals = 0;
+    };
+
+    TenantState &tenantState(unsigned tenant);
+
+    /** Budget verdict for @p tenant wanting @p need more tokens. */
+    bool budgetAdmits(unsigned tenant, double need, bool allow_borrow);
+
+    /** Reserve / release @p tokens of tenant budget accounting. */
+    void tenantReserve(const Request &request);
+    void tenantRelease(const Request &request);
+
+    /** Advance the per-tenant occupancy integrals by @p dt. */
+    void integrateTenantShares(double dt);
+
+    /**
+     * Tenants with an under-budget ("entitled") request waiting in
+     * @p queue, computed once per admission scan. A borrower is
+     * denied while any OTHER tenant appears here (see
+     * entitledElsewhere), preserving every active tenant's
+     * guarantee. Reservations only grow during a scan, so the set
+     * can only shrink mid-scan — a stale entry defers a borrower to
+     * the next round but never breaks a guarantee.
+     */
+    std::set<unsigned>
+    entitledTenantsWaiting(const std::deque<TimedRequest> &queue,
+                           double now) const;
+
+    /** True when @p entitled holds a tenant other than @p tenant. */
+    static bool entitledElsewhere(const std::set<unsigned> &entitled,
+                                  unsigned tenant);
+
     ClusterConfig cluster_;
     LlmConfig model_;
     EngineOptions options_;
@@ -309,6 +471,24 @@ class ServingEngine
     std::vector<double> latencies_;
     std::vector<double> firstTokenLatencies_;
     std::vector<double> tokenGaps_;
+
+    /** Any request carries a non-default class (tiers in play). */
+    bool classesActive_ = false;
+
+    /** EngineOptions::tenantBudgets is non-empty. */
+    bool budgetsActive_ = false;
+
+    /** Track per-tenant occupancy (budgets or tagged tenants). */
+    bool tenantsActive_ = false;
+
+    /** KV capacity in tokens (budget shares are fractions of it). */
+    double capacityTokens_ = 0.0;
+
+    /** Per-tier state, keyed ascending (classes active only). */
+    std::map<unsigned, TierState> tiers_;
+
+    /** Per-tenant state, keyed ascending (tenants active only). */
+    std::map<unsigned, TenantState> tenants_;
 
     /**
      * Streaming p95 over the sliding SLO window of decode token

@@ -12,6 +12,7 @@ schedPolicyName(SchedPolicyKind kind)
       case SchedPolicyKind::DecodePriority: return "decode-priority";
       case SchedPolicyKind::ChunkPreempt:   return "chunk-preempt";
       case SchedPolicyKind::SloAdmission:   return "slo-admission";
+      case SchedPolicyKind::TierPriority:   return "tier-priority";
     }
     return "?";
 }
@@ -32,7 +33,8 @@ std::vector<SchedPolicyKind>
 allSchedPolicies()
 {
     return {SchedPolicyKind::Fifo, SchedPolicyKind::DecodePriority,
-            SchedPolicyKind::ChunkPreempt, SchedPolicyKind::SloAdmission};
+            SchedPolicyKind::ChunkPreempt, SchedPolicyKind::SloAdmission,
+            SchedPolicyKind::TierPriority};
 }
 
 std::size_t
@@ -57,17 +59,51 @@ ChunkPreemptPolicy::sliceSeconds(const sim::WorkItem &item) const
 }
 
 bool
-SloAdmissionPolicy::admitPrefill(double observed_p95_gap,
-                                 std::size_t gap_samples,
-                                 bool decode_in_flight) const
+SloAdmissionPolicy::admitPrefillAt(double observed_p95_gap,
+                                   std::size_t gap_samples,
+                                   bool decode_in_flight,
+                                   double target_gap) const
 {
     // The gate can only bind while decode work is in flight: with
     // nothing decoding there is no SLO pressure, and a binding gate
     // would deadlock admission (no event could ever clear it).
     if (!decode_in_flight || gap_samples < config_.sloMinSamples)
         return true;
-    return observed_p95_gap <=
-           config_.sloHeadroom * config_.sloTargetGapSeconds;
+    return observed_p95_gap <= config_.sloHeadroom * target_gap;
+}
+
+std::size_t
+TierPriorityPolicy::pickNext(
+    const std::vector<const sim::WorkItem *> &eligible) const
+{
+    // Strict bands: (tier, kind) ascending with decode before chunks
+    // inside one tier; FIFO (first occurrence) inside a band.
+    std::size_t best = 0;
+    auto band = [](const sim::WorkItem &w) {
+        return (static_cast<std::uint64_t>(w.tier) << 1) |
+               (w.kind == sim::WorkItem::Kind::PrefillChunk ? 1u : 0u);
+    };
+    std::uint64_t best_band = band(*eligible[0]);
+    for (std::size_t i = 1; i < eligible.size(); ++i) {
+        std::uint64_t b = band(*eligible[i]);
+        if (b < best_band) {
+            best_band = b;
+            best = i;
+        }
+    }
+    return best;
+}
+
+double
+TierPriorityPolicy::sliceSeconds(const sim::WorkItem &item) const
+{
+    if (item.kind == sim::WorkItem::Kind::PrefillChunk)
+        return config_.preemptQuantumSeconds;
+    // Lower-tier in-flight decode work is preempted at the
+    // tier-inversion bound; tier-0 decode always runs unsliced.
+    if (item.tier > 0)
+        return config_.tierPreemptQuantumSeconds;
+    return 0.0;
 }
 
 std::unique_ptr<SchedPolicy>
@@ -88,6 +124,12 @@ makeSchedPolicy(const SchedPolicyConfig &config)
             fatal("slo-admission needs a positive gap target (got %g s)",
                   config.sloTargetGapSeconds);
         return std::make_unique<SloAdmissionPolicy>(config);
+      case SchedPolicyKind::TierPriority:
+        if (config.preemptQuantumSeconds <= 0.0)
+            fatal("tier-priority needs a positive chunk quantum (got "
+                  "%g s)",
+                  config.preemptQuantumSeconds);
+        return std::make_unique<TierPriorityPolicy>(config);
     }
     fatal("unknown scheduling policy");
 }

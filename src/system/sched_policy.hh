@@ -23,7 +23,15 @@
  *  - SloAdmission: FIFO on the timeline, but admission-time gating —
  *    new prefills are deferred while the observed p95 decode token
  *    gap (over a sliding window) exceeds a target, trading TTFT for
- *    a bounded decode SLO.
+ *    a bounded decode SLO. With request classes attached (see
+ *    workload/request_class.hh) the gate is per tier: each tier gets
+ *    its own sliding window judged against its own target.
+ *  - TierPriority: strict latency-tier bands — decode FC shares of a
+ *    higher tier (lower number) overtake lower-tier decode items as
+ *    well as prefill chunks, and in-flight lower-band work is
+ *    quantum-sliced so a tier inversion is bounded
+ *    (tierPreemptQuantumSeconds for decode, preemptQuantumSeconds
+ *    for chunks).
  *
  * Policies are selected through EngineOptions::sched (and
  * OrchestratorConfig::sched); they act under the event-driven step
@@ -48,6 +56,7 @@ enum class SchedPolicyKind : std::uint8_t {
     DecodePriority,
     ChunkPreempt,
     SloAdmission,
+    TierPriority,
 };
 
 std::string schedPolicyName(SchedPolicyKind kind);
@@ -91,6 +100,17 @@ struct SchedPolicyConfig
      * under it.
      */
     double sloHeadroom = 0.7;
+
+    /**
+     * TierPriority: service quantum at which a *lower-tier in-flight
+     * decode item* (tier > 0) is preempted, bounding how long a
+     * higher tier can be inverted behind it — the decode-side
+     * analogue of preemptQuantumSeconds (which keeps bounding
+     * in-flight prefill chunks). Tier-0 decode work is never sliced;
+     * <= 0 disables decode-side preemption (overtaking of *queued*
+     * lower-tier work still applies).
+     */
+    double tierPreemptQuantumSeconds = 2e-3;
 };
 
 /**
@@ -136,9 +156,26 @@ class SchedPolicy : public sim::QueueArbiter
     admitPrefill(double observed_p95_gap, std::size_t gap_samples,
                  bool decode_in_flight) const
     {
+        return admitPrefillAt(observed_p95_gap, gap_samples,
+                              decode_in_flight,
+                              config_.sloTargetGapSeconds);
+    }
+
+    /**
+     * Per-class admission gate: like admitPrefill(), but against an
+     * explicit @p target_gap — the engine calls this once per tier
+     * whose windowed p95 guards the candidate prefill, passing each
+     * tier's own RequestClass::gapSloSeconds target. The base policy
+     * never defers.
+     */
+    virtual bool
+    admitPrefillAt(double observed_p95_gap, std::size_t gap_samples,
+                   bool decode_in_flight, double target_gap) const
+    {
         (void)observed_p95_gap;
         (void)gap_samples;
         (void)decode_in_flight;
+        (void)target_gap;
         return true;
     }
 
@@ -189,9 +226,36 @@ class SloAdmissionPolicy : public SchedPolicy
 
     bool needsGapSignal() const override { return true; }
 
-    bool admitPrefill(double observed_p95_gap,
-                      std::size_t gap_samples,
-                      bool decode_in_flight) const override;
+    bool admitPrefillAt(double observed_p95_gap,
+                        std::size_t gap_samples,
+                        bool decode_in_flight,
+                        double target_gap) const override;
+};
+
+/**
+ * Strict latency-tier bands on the xPU timelines: decode FC shares
+ * of tier T overtake every queued item of tiers > T — lower-tier
+ * *decode* items included, not just prefill chunks — and within one
+ * tier decode precedes that tier's prefill chunks (FIFO inside a
+ * band). In-flight work of a worse band is preempted by quantum
+ * slicing so a tier inversion is bounded: prefill chunks at
+ * preemptQuantumSeconds (any tier), lower-tier decode items at
+ * tierPreemptQuantumSeconds. Tier-0 decode is never sliced. Slices
+ * conserve each item's total charge exactly (the QueuedDevice /
+ * preemptionSlices machinery, unchanged).
+ */
+class TierPriorityPolicy : public SchedPolicy
+{
+  public:
+    using SchedPolicy::SchedPolicy;
+
+    bool reordersXpu() const override { return true; }
+
+    std::size_t pickNext(
+        const std::vector<const sim::WorkItem *> &eligible)
+        const override;
+
+    double sliceSeconds(const sim::WorkItem &item) const override;
 };
 
 std::unique_ptr<SchedPolicy>

@@ -65,8 +65,21 @@ PipelineStage::pumpDecode(sim::EventQueue &queue)
 {
     if (decodeInFlight_ || decodeQ_.empty())
         return;
-    DecodeEntry e = std::move(decodeQ_.front());
-    decodeQ_.pop();
+    // The arbiter picks among the queued decode items too, so a
+    // tier-aware policy serves a higher tier's cohort first when two
+    // cohorts queue at one stage. Policies that pick the first
+    // decode item (DecodePriority, ChunkPreempt) reduce to the FIFO
+    // pop exactly.
+    std::size_t pick = 0;
+    if (decodeQ_.size() > 1) {
+        decodeEligible_.clear();
+        for (std::size_t i = 0; i < decodeQ_.size(); ++i)
+            decodeEligible_.push_back(&decodeQ_.at(i).item);
+        pick = arbiter_->pickNext(decodeEligible_);
+        if (pick >= decodeQ_.size())
+            pick = 0;
+    }
+    DecodeEntry e = decodeQ_.takeAt(pick);
     decodeInFlight_ = true;
     decodeDone_ = std::move(e.done);
 

@@ -141,6 +141,8 @@ class PipelineStage : public sim::Device
     PimStageDevice pim_;
     std::unique_ptr<XpuStageDevice> xpu_;
     sim::RingQueue<DecodeEntry> decodeQ_;
+    /** pumpDecode's arbitration scratch (reused, never re-entered). */
+    std::vector<const sim::WorkItem *> decodeEligible_;
     bool decodeInFlight_ = false;
     CompletionFn decodeDone_;
 };

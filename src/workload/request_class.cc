@@ -1,0 +1,17 @@
+#include "workload/request_class.hh"
+
+#include <cstdio>
+
+namespace pimphony {
+
+std::string
+requestClassLabel(const RequestClass &cls)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "tier=%u tenant=%u slo=%gms w=%g",
+                  cls.tier, cls.tenant, cls.gapSloSeconds * 1e3,
+                  cls.weight);
+    return buf;
+}
+
+} // namespace pimphony

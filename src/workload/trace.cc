@@ -72,9 +72,28 @@ TraceGenerator::generate(std::size_t n, Tokens decode_tokens)
         r.id = next_++;
         r.contextTokens = sampleLength();
         r.decodeTokens = decode_tokens;
+        r.cls = cls_;
         out.push_back(r);
     }
     return out;
+}
+
+void
+assignRequestClass(std::vector<Request> &requests,
+                   const RequestClass &cls)
+{
+    for (auto &r : requests)
+        r.cls = cls;
+}
+
+void
+assignRequestClassesRoundRobin(std::vector<Request> &requests,
+                               const std::vector<RequestClass> &classes)
+{
+    if (classes.empty())
+        return;
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        requests[i].cls = classes[i % classes.size()];
 }
 
 std::vector<Request>

@@ -19,6 +19,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "workload/request_class.hh"
 
 namespace pimphony {
 
@@ -49,6 +50,14 @@ std::vector<TraceTask> allTraceTasks();
 
 struct Request
 {
+    Request() = default;
+    Request(RequestId id_, Tokens context_tokens, Tokens decode_tokens,
+            RequestClass cls_ = {})
+        : id(id_), contextTokens(context_tokens),
+          decodeTokens(decode_tokens), cls(cls_)
+    {
+    }
+
     RequestId id = 0;
 
     /** Prefilled context length when decoding starts. */
@@ -56,7 +65,26 @@ struct Request
 
     /** Tokens to generate before the request completes. */
     Tokens decodeTokens = 0;
+
+    /**
+     * Service class (latency tier, SLO target, tenant, weight). The
+     * default class reproduces the pre-tier engine bit for bit; see
+     * workload/request_class.hh.
+     */
+    RequestClass cls;
 };
+
+/** Stamp every request in @p requests with @p cls. */
+void assignRequestClass(std::vector<Request> &requests,
+                        const RequestClass &cls);
+
+/**
+ * Stamp @p requests with @p classes cyclically (request i gets
+ * classes[i % classes.size()]) — the quick way to build a tier/tenant
+ * mix from one generated trace. No-op on an empty class list.
+ */
+void assignRequestClassesRoundRobin(std::vector<Request> &requests,
+                                    const std::vector<RequestClass> &classes);
 
 /**
  * Deterministic request generator for one task.
@@ -80,12 +108,18 @@ class TraceGenerator
 
     TraceTask task() const { return task_; }
 
+    /** Service class stamped on every generated request (default:
+     *  the implicit pre-tier class). */
+    void setRequestClass(const RequestClass &cls) { cls_ = cls; }
+    const RequestClass &requestClass() const { return cls_; }
+
   private:
     Tokens sampleLength();
 
     TraceTask task_;
     Rng rng_;
     RequestId next_ = 0;
+    RequestClass cls_;
 
     /** Fitted once; sampling is then cheap. */
     std::unique_ptr<TruncatedNormal> normal_;

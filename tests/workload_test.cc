@@ -1,12 +1,16 @@
 /**
  * @file
  * Workload tests: the synthetic traces must reproduce Table II's
- * statistics and honour bounds; generation is deterministic per seed.
+ * statistics and honour bounds; generation is deterministic per
+ * seed. The bursty open-loop arrival generators (gamma, on/off) must
+ * likewise be deterministic per seed and hit their configured
+ * long-run mean rate.
  */
 
 #include <gtest/gtest.h>
 
 #include "common/stats.hh"
+#include "workload/arrival.hh"
 #include "workload/trace.hh"
 
 namespace pimphony {
@@ -83,6 +87,107 @@ TEST(Trace, DecodeTokensPropagated)
     auto reqs = gen.generate(5, 77);
     for (const auto &r : reqs)
         EXPECT_EQ(r.decodeTokens, 77u);
+}
+
+// --- Bursty arrival generators. ----------------------------------------
+
+std::vector<Request>
+flatRequests(std::size_t n)
+{
+    std::vector<Request> reqs;
+    for (RequestId i = 0; i < n; ++i)
+        reqs.push_back({i, 1000, 16});
+    return reqs;
+}
+
+void
+expectSameArrivals(const std::vector<TimedRequest> &a,
+                   const std::vector<TimedRequest> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].request.id, b[i].request.id) << i;
+        EXPECT_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds) << i;
+    }
+}
+
+TEST(Arrivals, GammaDeterministicPerSeedAndSeedsDiffer)
+{
+    auto reqs = flatRequests(256);
+    auto a = gammaArrivals(reqs, 5.0, 3.0, 11);
+    auto b = gammaArrivals(reqs, 5.0, 3.0, 11);
+    expectSameArrivals(a, b);
+
+    auto c = gammaArrivals(reqs, 5.0, 3.0, 12);
+    ASSERT_EQ(a.size(), c.size());
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].arrivalSeconds == c[i].arrivalSeconds)
+            ++same;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Arrivals, OnOffDeterministicPerSeedAndSeedsDiffer)
+{
+    auto reqs = flatRequests(256);
+    OnOffTraffic traffic;
+    traffic.onRate = 8.0;
+    traffic.offRate = 0.5;
+    traffic.meanOnSeconds = 1.5;
+    traffic.meanOffSeconds = 3.0;
+    auto a = onOffArrivals(reqs, traffic, 21);
+    auto b = onOffArrivals(reqs, traffic, 21);
+    expectSameArrivals(a, b);
+
+    auto c = onOffArrivals(reqs, traffic, 22);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].arrivalSeconds == c[i].arrivalSeconds)
+            ++same;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Arrivals, GammaEmpiricalMeanRateMatchesConfigured)
+{
+    // Property: over many arrivals the empirical rate
+    // n / t_last approaches the configured rate regardless of the
+    // burstiness (CV); averaged over seeds to keep the tolerance
+    // tight without flaking.
+    auto reqs = flatRequests(4000);
+    for (double cv : {0.5, 1.0, 3.0}) {
+        double rate_sum = 0.0;
+        const int kSeeds = 5;
+        for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+            auto timed = gammaArrivals(reqs, 4.0, cv, seed);
+            ASSERT_GT(timed.back().arrivalSeconds, 0.0);
+            rate_sum += static_cast<double>(timed.size()) /
+                        timed.back().arrivalSeconds;
+        }
+        EXPECT_NEAR(rate_sum / kSeeds, 4.0, 4.0 * 0.08) << "cv " << cv;
+    }
+}
+
+TEST(Arrivals, OnOffEmpiricalMeanRateMatchesConfigured)
+{
+    auto reqs = flatRequests(4000);
+    OnOffTraffic traffic;
+    traffic.onRate = 10.0;
+    traffic.offRate = 0.0;
+    traffic.meanOnSeconds = 2.0;
+    traffic.meanOffSeconds = 3.0;
+    // Long-run rate = (on * t_on + off * t_off) / (t_on + t_off).
+    double expected = (traffic.onRate * traffic.meanOnSeconds +
+                       traffic.offRate * traffic.meanOffSeconds) /
+                      (traffic.meanOnSeconds + traffic.meanOffSeconds);
+    double rate_sum = 0.0;
+    const int kSeeds = 5;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        auto timed = onOffArrivals(reqs, traffic, seed);
+        ASSERT_GT(timed.back().arrivalSeconds, 0.0);
+        rate_sum += static_cast<double>(timed.size()) /
+                    timed.back().arrivalSeconds;
+    }
+    EXPECT_NEAR(rate_sum / kSeeds, expected, expected * 0.10);
 }
 
 TEST(Trace, NamesAndSuites)
