@@ -34,20 +34,32 @@ main(int argc, char **argv)
                     "QKT util", "SV util"},
 
         args.json ? &json : nullptr);
-    double sv1 = 0.0;
-    for (unsigned obuf : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-        AimTimingParams params = AimTimingParams::aimxWithObuf(obuf);
-        auto qkt = simulateKernel(
-            KernelRequest::makeQkt(spec, SchedulerKind::Dcs), params);
-        auto sv = simulateKernel(
-            KernelRequest::makeSv(spec, SchedulerKind::Dcs), params);
-        if (sv1 == 0.0)
-            sv1 = static_cast<double>(sv.makespan);
-        t.addRow({TablePrinter::fmtInt(obuf),
+    const std::vector<unsigned> obufs = {1u, 2u, 4u, 8u,
+                                         16u, 32u, 64u};
+    struct QktSv
+    {
+        ScheduleResult qkt;
+        ScheduleResult sv;
+    };
+    auto outs = bench::runSweep(args, obufs.size(), [&](std::size_t i) {
+        AimTimingParams params = AimTimingParams::aimxWithObuf(obufs[i]);
+        return QktSv{
+            simulateKernel(
+                KernelRequest::makeQkt(spec, SchedulerKind::Dcs),
+                params),
+            simulateKernel(
+                KernelRequest::makeSv(spec, SchedulerKind::Dcs),
+                params)};
+    });
+    for (std::size_t i = 0; i < obufs.size(); ++i) {
+        const auto &qkt = outs[i].value.qkt;
+        const auto &sv = outs[i].value.sv;
+        t.addRow({TablePrinter::fmtInt(obufs[i]),
                   TablePrinter::fmtInt(qkt.makespan),
                   TablePrinter::fmtInt(sv.makespan),
                   TablePrinter::fmtPercent(qkt.macUtilization),
-                  TablePrinter::fmtPercent(sv.macUtilization)});
+                  TablePrinter::fmtPercent(sv.macUtilization)},
+                 args.threads, outs[i].wallSeconds);
     }
     t.print(std::cout);
     std::cout << "  (area cost grows linearly with depth; the paper "

@@ -32,9 +32,18 @@ main(int argc, char **argv)
                     "host msgs"},
 
         args.json ? &json : nullptr);
-    for (Bytes chunk : {256_KiB, 1_MiB, 4_MiB, 16_MiB, 64_MiB}) {
+    const std::vector<Bytes> chunks = {256_KiB, 1_MiB, 4_MiB, 16_MiB,
+                                       64_MiB};
+    struct AdmitStats
+    {
+        std::size_t admitted;
+        double capacityUtil;
+        Bytes va2paBytes;
+        std::uint64_t hostMsgs;
+    };
+    auto outs = bench::runSweep(args, chunks.size(), [&](std::size_t i) {
         LazyChunkAllocator alloc(114_GiB, model.kvBytesPerToken(),
-                                 model.contextWindow, chunk);
+                                 model.contextWindow, chunks[i]);
         std::size_t admitted = 0;
         for (const auto &r : requests) {
             if (alloc.tryAdmit(r.id, r.contextTokens))
@@ -42,11 +51,17 @@ main(int argc, char **argv)
             else
                 break;
         }
-        t.addRow({TablePrinter::fmtInt(chunk >> 10) + " KiB",
-                  TablePrinter::fmtInt(admitted),
-                  TablePrinter::fmtPercent(alloc.capacityUtilization()),
-                  TablePrinter::fmtInt(alloc.va2paBytes()),
-                  TablePrinter::fmtInt(alloc.hostInterventions())});
+        return AdmitStats{admitted, alloc.capacityUtilization(),
+                          alloc.va2paBytes(), alloc.hostInterventions()};
+    });
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        const auto &r = outs[i].value;
+        t.addRow({TablePrinter::fmtInt(chunks[i] >> 10) + " KiB",
+                  TablePrinter::fmtInt(r.admitted),
+                  TablePrinter::fmtPercent(r.capacityUtil),
+                  TablePrinter::fmtInt(r.va2paBytes),
+                  TablePrinter::fmtInt(r.hostMsgs)},
+                 args.threads, outs[i].wallSeconds);
     }
     t.print(std::cout);
     bench::writeJsonIfRequested(json, args);

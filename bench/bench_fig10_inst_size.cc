@@ -40,19 +40,31 @@ main(int argc, char **argv)
         {"context", "QKT static", "QKT DPA", "SV static",
                     "SV DPA", "static fits 256KB buf?"},
         args.json ? &json : nullptr);
-    for (Tokens tm :
-         {4096u, 16384u, 65536u, 262144u, 1048576u}) {
-        auto lq = lowerKernel(qkt, params, tm);
-        auto ls = lowerKernel(sv, params, tm);
+    const std::vector<Tokens> t_maxes = {4096u, 16384u, 65536u,
+                                         262144u, 1048576u};
+    struct Lowered
+    {
+        LoweredKernel lq;
+        LoweredKernel ls;
+    };
+    auto outs =
+        bench::runSweep(args, t_maxes.size(), [&](std::size_t i) {
+            return Lowered{lowerKernel(qkt, params, t_maxes[i]),
+                           lowerKernel(sv, params, t_maxes[i])};
+        });
+    for (std::size_t i = 0; i < t_maxes.size(); ++i) {
+        const auto &lq = outs[i].value.lq;
+        const auto &ls = outs[i].value.ls;
         Bytes static_total =
             staticProgramBytes(lq) + staticProgramBytes(ls);
-        t.addRow({TablePrinter::fmtInt(tm),
+        t.addRow({TablePrinter::fmtInt(t_maxes[i]),
                   TablePrinter::fmtInt(staticProgramBytes(lq)) + " B",
                   TablePrinter::fmtInt(dpaProgramBytes(lq)) + " B",
                   TablePrinter::fmtInt(staticProgramBytes(ls)) + " B",
                   TablePrinter::fmtInt(dpaProgramBytes(ls)) + " B",
                   static_total <= seq.params().bufferBytes ? "yes"
-                                                           : "NO"});
+                                                           : "NO"},
+                 args.threads, outs[i].wallSeconds);
     }
     t.print(std::cout);
 

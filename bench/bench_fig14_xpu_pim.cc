@@ -13,35 +13,59 @@ namespace {
 
 void
 grid(const char *title, const std::vector<LlmConfig> &models,
-     const std::vector<TraceTask> &tasks, bench::JsonRows *json)
+     const std::vector<TraceTask> &tasks, bench::JsonRows *json,
+     const bench::BenchArgs &args)
 {
     printBanner(std::cout, title);
     bench::MirroredTable t(
         {"model", "task", "config", "plan", "tokens/s",
                     "speedup"},
         json);
-    for (const auto &model : models) {
+
+    // Flattened (model, task, option stack) grid for the sweep
+    // runner; the cumulative-speedup base (the first stack of each
+    // (model, task) group) is recovered during serial emission.
+    struct Cell
+    {
+        LlmConfig model;
+        TraceTask task;
+        PimphonyOptions opt;
+        bool groupStart;
+    };
+    std::vector<Cell> cells;
+    for (const auto &model : models)
         for (TraceTask task : tasks) {
-            double base = 0.0;
+            bool first = true;
             for (const auto &opt : bench::cumulativeOptions()) {
-                OrchestratorConfig cfg;
-                cfg.system = SystemKind::XpuPim;
-                cfg.model = model;
-                cfg.options = opt;
-                cfg.plan = ParallelPlan{0, 0};
-                cfg.nRequests = 24;
-                cfg.decodeTokens = 32;
-                PimphonyOrchestrator orch(cfg);
-                auto r = orch.evaluate(task);
-                if (base == 0.0)
-                    base = r.engine.tokensPerSecond;
-                t.addRow({model.name, traceTaskName(task), opt.label(),
-                          r.plan.toString(),
-                          TablePrinter::fmt(r.engine.tokensPerSecond, 1),
-                          bench::fmtSpeedup(r.engine.tokensPerSecond /
-                                            base)});
+                cells.push_back({model, task, opt, first});
+                first = false;
             }
         }
+
+    auto outs = bench::runSweep(args, cells.size(), [&](std::size_t i) {
+        const Cell &c = cells[i];
+        OrchestratorConfig cfg;
+        cfg.system = SystemKind::XpuPim;
+        cfg.model = c.model;
+        cfg.options = c.opt;
+        cfg.plan = ParallelPlan{0, 0};
+        cfg.nRequests = 24;
+        cfg.decodeTokens = 32;
+        PimphonyOrchestrator orch(cfg);
+        return orch.evaluate(c.task);
+    });
+
+    double base = 0.0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        const auto &r = outs[i].value;
+        if (c.groupStart)
+            base = r.engine.tokensPerSecond;
+        t.addRow({c.model.name, traceTaskName(c.task), c.opt.label(),
+                  r.plan.toString(),
+                  TablePrinter::fmt(r.engine.tokensPerSecond, 1),
+                  bench::fmtSpeedup(r.engine.tokensPerSecond / base)},
+                 args.threads, outs[i].wallSeconds);
     }
     t.print(std::cout);
 }
@@ -64,7 +88,7 @@ main(int argc, char **argv)
              ? std::vector<TraceTask>{TraceTask::QMSum}
              : std::vector<TraceTask>{TraceTask::QMSum,
                                       TraceTask::Musique},
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     grid("Fig. 14(b): xPU+PIM, GQA LLMs on LV-Eval "
          "(paper: up to 8.4x)",
          args.smoke
@@ -75,7 +99,7 @@ main(int argc, char **argv)
              ? std::vector<TraceTask>{TraceTask::MultifieldQa}
              : std::vector<TraceTask>{TraceTask::MultifieldQa,
                                       TraceTask::LoogleSd},
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -14,7 +14,7 @@ namespace {
 
 void
 sweep(const char *title, const LlmConfig &model, TraceTask task,
-      bench::JsonRows *json)
+      bench::JsonRows *json, const bench::BenchArgs &args)
 {
     printBanner(std::cout, title);
     OrchestratorConfig probe;
@@ -28,21 +28,33 @@ sweep(const char *title, const LlmConfig &model, TraceTask task,
         headers.push_back(p.toString());
     bench::MirroredTable t(headers, json, title);
 
-    for (const auto &opt : bench::cumulativeOptions()) {
-        std::vector<std::string> row = {opt.label()};
-        for (const auto &plan : plans) {
+    // Flattened (option stack, plan) grid; one table row spans all
+    // plans of a stack, so emission reassembles rows from the
+    // submission-ordered cell vector (cell o*P+p = stack o, plan p).
+    auto opts = bench::cumulativeOptions();
+    std::size_t n_plans = plans.size();
+    auto outs = bench::runSweep(
+        args, opts.size() * n_plans, [&](std::size_t i) {
             OrchestratorConfig cfg;
             cfg.system = SystemKind::PimOnly;
             cfg.model = model;
-            cfg.options = opt;
-            cfg.plan = plan;
+            cfg.options = opts[i / n_plans];
+            cfg.plan = plans[i % n_plans];
             cfg.nRequests = 24;
             cfg.decodeTokens = 32;
             PimphonyOrchestrator orch(cfg);
-            auto r = orch.evaluate(task);
-            row.push_back(TablePrinter::fmt(r.engine.tokensPerSecond, 1));
+            return orch.evaluate(task).engine.tokensPerSecond;
+        });
+
+    for (std::size_t o = 0; o < opts.size(); ++o) {
+        std::vector<std::string> row = {opts[o].label()};
+        double row_wall = 0.0;
+        for (std::size_t p = 0; p < n_plans; ++p) {
+            row.push_back(
+                TablePrinter::fmt(outs[o * n_plans + p].value, 1));
+            row_wall += outs[o * n_plans + p].wallSeconds;
         }
-        t.addRow(row);
+        t.addRow(row, args.threads, row_wall);
     }
     t.print(std::cout);
 }
@@ -58,11 +70,11 @@ main(int argc, char **argv)
     bench::JsonRows json("bench_fig15_tp_pp");
     sweep("Fig. 15(a): LLM-7B-32K on QMSum, tokens/s across (TP,PP)",
           LlmConfig::llm7b(false), TraceTask::QMSum,
-          args.json ? &json : nullptr);
+          args.json ? &json : nullptr, args);
     sweep("Fig. 15(b): LLM-7B-128K-GQA on multifieldqa, tokens/s "
           "across (TP,PP)",
           LlmConfig::llm7b(true), TraceTask::MultifieldQa,
-          args.json ? &json : nullptr);
+          args.json ? &json : nullptr, args);
     bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -15,7 +15,8 @@ using namespace pimphony;
 namespace {
 
 void
-energyCase(const char *title, const LlmConfig &model, TraceTask task, bench::JsonRows *json)
+energyCase(const char *title, const LlmConfig &model, TraceTask task,
+           bench::JsonRows *json, const bench::BenchArgs &args)
 {
     printBanner(std::cout, title);
     TraceGenerator gen(task, 33);
@@ -31,23 +32,33 @@ energyCase(const char *title, const LlmConfig &model, TraceTask task, bench::Jso
         {"config", "Attn MAC", "Attn I/O",
                          "Attn background", "Attn ACT/PRE+REF+else"},
         json, "bottom");
-    double base_attn = 0.0;
-    for (const auto &opt :
-         {PimphonyOptions::baseline(), PimphonyOptions::all()}) {
+
+    // Two sweep cells (baseline, all); the attention-energy
+    // reduction is relative to the baseline row, computed during
+    // serial emission.
+    const std::vector<PimphonyOptions> opts = {
+        PimphonyOptions::baseline(), PimphonyOptions::all()};
+    auto outs = bench::runSweep(args, opts.size(), [&](std::size_t i) {
         auto cluster = ClusterConfig::centLike(model);
-        auto r = runServing(cluster, model, requests, opt);
+        return runServing(cluster, model, requests, opts[i]);
+    });
+
+    double base_attn = 0.0;
+    for (std::size_t i = 0; i < opts.size(); ++i) {
+        const auto &r = outs[i].value;
         double fc = r.fcEnergy.total();
         double at = r.attentionEnergy.total();
         double tot = fc + at;
         if (base_attn == 0.0)
             base_attn = at;
-        top.addRow({opt.label(), TablePrinter::fmt(tot * 1e-12, 2),
+        top.addRow({opts[i].label(), TablePrinter::fmt(tot * 1e-12, 2),
                     TablePrinter::fmtPercent(fc / tot),
                     TablePrinter::fmtPercent(at / tot),
-                    bench::fmtSpeedup(base_attn / at)});
+                    bench::fmtSpeedup(base_attn / at)},
+                   args.threads, outs[i].wallSeconds);
         const auto &e = r.attentionEnergy;
         double rest = e.actPre + e.refreshE + e.elseE;
-        bottom.addRow({opt.label(),
+        bottom.addRow({opts[i].label(),
                        TablePrinter::fmtPercent(e.mac / at),
                        TablePrinter::fmtPercent(e.io / at),
                        TablePrinter::fmtPercent(e.background / at),
@@ -68,17 +79,17 @@ main(int argc, char **argv)
     bench::JsonRows json("bench_fig16_energy");
     energyCase("Fig. 16(a): LLM-7B-32K on LongBench QMSum (32K class)",
                LlmConfig::llm7b(false), TraceTask::QMSum,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     energyCase("Fig. 16(a): LLM-72B-32K on LongBench Musique",
                LlmConfig::llm72b(false), TraceTask::Musique,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     energyCase("Fig. 16(b): LLM-7B-128K-GQA on LV-Eval multifieldqa "
                "(paper: background 71.5% -> 13.0%)",
                LlmConfig::llm7b(true), TraceTask::MultifieldQa,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     energyCase("Fig. 16(b): LLM-72B-128K-GQA on LV-Eval Loogle-SD",
                LlmConfig::llm72b(true), TraceTask::LoogleSd,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -72,16 +72,22 @@ main(int argc, char **argv)
         std::vector<unsigned> module_counts =
             args.smoke ? std::vector<unsigned>{8u}
                        : std::vector<unsigned>{8u, 16u, 32u, 64u};
-        for (unsigned modules : module_counts) {
-            std::size_t n = 4u * modules;
-            auto requests = scaledTrace(65536, n, 16);
-            auto r = evaluate(SystemKind::PimOnly, model, modules,
-                              requests, PimphonyOptions::all());
+        auto outs = bench::runSweep(
+            args, module_counts.size(), [&](std::size_t i) {
+                unsigned modules = module_counts[i];
+                auto requests = scaledTrace(65536, 4u * modules, 16);
+                return evaluate(SystemKind::PimOnly, model, modules,
+                                requests, PimphonyOptions::all());
+            });
+        for (std::size_t i = 0; i < module_counts.size(); ++i) {
+            unsigned modules = module_counts[i];
+            const auto &r = outs[i].value;
             t.addRow({TablePrinter::fmtInt(modules * 16u) + " GiB",
                       TablePrinter::fmtInt(modules),
                       r.plan.toString(),
                       TablePrinter::fmt(r.engine.tokensPerSecond, 1),
-                      TablePrinter::fmt(r.engine.avgEffectiveBatch, 1)});
+                      TablePrinter::fmt(r.engine.avgEffectiveBatch, 1)},
+                     args.threads, outs[i].wallSeconds);
         }
         t.print(std::cout);
     }
@@ -100,21 +106,33 @@ main(int argc, char **argv)
             args.smoke ? std::vector<Tokens>{4096u, 32768u}
                        : std::vector<Tokens>{4096u, 32768u, 131072u,
                                              524288u, 1048576u};
-        for (Tokens ctx : contexts) {
-            auto model = modelFor(ctx);
-            std::size_t n = ctx >= 524288 ? 12 : 32;
-            auto requests = scaledTrace(ctx, n, 16);
-
-            auto cb = evaluate(SystemKind::PimOnly, model, 32, requests,
-                               PimphonyOptions::baseline());
-            auto cp = evaluate(SystemKind::PimOnly, model, 32, requests,
-                               PimphonyOptions::all());
-            auto nb = evaluate(SystemKind::XpuPim, model, 16, requests,
-                               PimphonyOptions::baseline());
-            auto np = evaluate(SystemKind::XpuPim, model, 16, requests,
-                               PimphonyOptions::all());
-
-            t.addRow({TablePrinter::fmtInt(ctx),
+        // Four system/option variants per context; flatten to
+        // contexts.size() * 4 cells (cell 4c+v = context c, variant
+        // v in {CENT base, CENT +PIMphony, NeuPIMs base, NeuPIMs
+        // +PIMphony}) and reassemble the rows during emission.
+        auto outs = bench::runSweep(
+            args, contexts.size() * 4, [&](std::size_t i) {
+                Tokens ctx = contexts[i / 4];
+                std::size_t v = i % 4;
+                auto model = modelFor(ctx);
+                std::size_t n = ctx >= 524288 ? 12 : 32;
+                auto requests = scaledTrace(ctx, n, 16);
+                SystemKind sys = v < 2 ? SystemKind::PimOnly
+                                       : SystemKind::XpuPim;
+                unsigned modules = v < 2 ? 32 : 16;
+                auto opt = (v % 2) == 0 ? PimphonyOptions::baseline()
+                                        : PimphonyOptions::all();
+                return evaluate(sys, model, modules, requests, opt);
+            });
+        for (std::size_t c = 0; c < contexts.size(); ++c) {
+            const auto &cb = outs[4 * c + 0].value;
+            const auto &cp = outs[4 * c + 1].value;
+            const auto &nb = outs[4 * c + 2].value;
+            const auto &np = outs[4 * c + 3].value;
+            double row_wall = 0.0;
+            for (std::size_t v = 0; v < 4; ++v)
+                row_wall += outs[4 * c + v].wallSeconds;
+            t.addRow({TablePrinter::fmtInt(contexts[c]),
                       TablePrinter::fmt(cb.engine.tokensPerSecond, 2),
                       TablePrinter::fmt(cp.engine.tokensPerSecond, 2),
                       bench::fmtSpeedup(cp.engine.tokensPerSecond /
@@ -122,7 +140,8 @@ main(int argc, char **argv)
                       TablePrinter::fmt(nb.engine.tokensPerSecond, 2),
                       TablePrinter::fmt(np.engine.tokensPerSecond, 2),
                       bench::fmtSpeedup(np.engine.tokensPerSecond /
-                                        nb.engine.tokensPerSecond)});
+                                        nb.engine.tokensPerSecond)},
+                     args.threads, row_wall);
         }
         t.print(std::cout);
     }
@@ -137,23 +156,31 @@ main(int argc, char **argv)
         std::vector<Tokens> contexts =
             args.smoke ? std::vector<Tokens>{32768u}
                        : std::vector<Tokens>{32768u, 524288u};
-        for (Tokens ctx : contexts) {
-            auto model = modelFor(ctx);
-            auto requests = scaledTrace(ctx, ctx >= 524288 ? 12 : 32, 16);
-            for (const auto &opt : {PimphonyOptions::baseline(),
-                                    PimphonyOptions::all()}) {
-                auto r = evaluate(SystemKind::PimOnly, model, 32,
-                                  requests, opt);
-                double tot =
-                    r.engine.attentionSeconds + r.engine.fcSeconds;
-                t.addRow({TablePrinter::fmtInt(ctx), opt.label(),
-                          TablePrinter::fmtPercent(
-                              r.engine.attentionSeconds / tot),
-                          TablePrinter::fmtPercent(r.engine.fcSeconds /
-                                                   tot),
-                          TablePrinter::fmtPercent(
-                              r.engine.macUtilization)});
-            }
+        const std::vector<PimphonyOptions> opts = {
+            PimphonyOptions::baseline(), PimphonyOptions::all()};
+        auto outs = bench::runSweep(
+            args, contexts.size() * opts.size(), [&](std::size_t i) {
+                Tokens ctx = contexts[i / opts.size()];
+                auto model = modelFor(ctx);
+                auto requests =
+                    scaledTrace(ctx, ctx >= 524288 ? 12 : 32, 16);
+                return evaluate(SystemKind::PimOnly, model, 32,
+                                requests, opts[i % opts.size()]);
+            });
+        for (std::size_t i = 0; i < contexts.size() * opts.size();
+             ++i) {
+            Tokens ctx = contexts[i / opts.size()];
+            const auto &opt = opts[i % opts.size()];
+            const auto &r = outs[i].value;
+            double tot = r.engine.attentionSeconds + r.engine.fcSeconds;
+            t.addRow({TablePrinter::fmtInt(ctx), opt.label(),
+                      TablePrinter::fmtPercent(
+                          r.engine.attentionSeconds / tot),
+                      TablePrinter::fmtPercent(r.engine.fcSeconds /
+                                               tot),
+                      TablePrinter::fmtPercent(
+                          r.engine.macUtilization)},
+                     args.threads, outs[i].wallSeconds);
         }
         t.print(std::cout);
     }

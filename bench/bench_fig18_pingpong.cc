@@ -28,15 +28,25 @@ main(int argc, char **argv)
                     "pingpong cycles", "DCS cycles"},
         args.json ? &json : nullptr);
 
-    for (unsigned g : {1u, 2u, 4u, 8u}) {
-        AttentionSpec spec;
-        spec.tokens = 16384;
-        spec.headDim = 128;
-        spec.gqaGroup = g;
-        spec.rowReuse = true;
-
-        // Combined QKT + SV utilization per mapping.
-        auto run = [&](SchedulerKind sched, bool pingpong) {
+    // Flattened (group size, scheduler) grid: cell 2g+s runs the
+    // combined QKT+SV pair for group g under ping-pong (s=0) or DCS
+    // (s=1); emission reassembles each comparison row.
+    const std::vector<unsigned> groups = {1u, 2u, 4u, 8u};
+    struct UtilCycles
+    {
+        double util;
+        Cycle cycles;
+    };
+    auto outs = bench::runSweep(
+        args, groups.size() * 2, [&](std::size_t i) {
+            AttentionSpec spec;
+            spec.tokens = 16384;
+            spec.headDim = 128;
+            spec.gqaGroup = groups[i / 2];
+            spec.rowReuse = true;
+            bool pingpong = (i % 2) == 0;
+            SchedulerKind sched = pingpong ? SchedulerKind::PingPong
+                                           : SchedulerKind::Dcs;
             auto qkt = simulateKernel(
                 KernelRequest::makeQkt(spec, sched, pingpong), params);
             auto sv = simulateKernel(
@@ -46,20 +56,23 @@ main(int argc, char **argv)
                 static_cast<double>(qkt.macBusyCycles +
                                     sv.macBusyCycles) /
                 static_cast<double>(cycles);
-            return std::make_pair(util, cycles);
-        };
+            return UtilCycles{util, cycles};
+        });
 
-        auto [pp_util, pp_cycles] = run(SchedulerKind::PingPong, true);
-        auto [dc_util, dc_cycles] = run(SchedulerKind::Dcs, false);
-
-        std::string label = g == 1
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto &pp = outs[2 * gi].value;
+        const auto &dc = outs[2 * gi + 1].value;
+        std::string label = groups[gi] == 1
             ? std::string("MHA")
-            : "GQA g=" + TablePrinter::fmtInt(g);
-        t.addRow({label, TablePrinter::fmtPercent(pp_util),
-                  TablePrinter::fmtPercent(dc_util),
-                  bench::fmtSpeedup(dc_util / pp_util),
-                  TablePrinter::fmtInt(pp_cycles),
-                  TablePrinter::fmtInt(dc_cycles)});
+            : "GQA g=" + TablePrinter::fmtInt(groups[gi]);
+        t.addRow({label, TablePrinter::fmtPercent(pp.util),
+                  TablePrinter::fmtPercent(dc.util),
+                  bench::fmtSpeedup(dc.util / pp.util),
+                  TablePrinter::fmtInt(pp.cycles),
+                  TablePrinter::fmtInt(dc.cycles)},
+                 args.threads,
+                 outs[2 * gi].wallSeconds +
+                     outs[2 * gi + 1].wallSeconds);
     }
     t.print(std::cout);
     std::cout << "  (paper: DCS sustains entry-level overlap in one "

@@ -28,27 +28,41 @@ main(int argc, char **argv)
                     "static batch", "DPA batch"},
 
         args.json ? &json : nullptr);
+    // Flattened (task, allocator) grid: cell 2t+a runs task t with
+    // the static stack (a=0) or the DPA stack (a=1).
+    auto tasks = allTraceTasks();
+    auto outs = bench::runSweep(
+        args, tasks.size() * 2, [&](std::size_t i) {
+            TraceTask task = tasks[i / 2];
+            bool lveval = task == TraceTask::MultifieldQa ||
+                          task == TraceTask::LoogleSd;
+            auto model = LlmConfig::llm7b(lveval);
+            auto cluster = ClusterConfig::centLike(model);
+            TraceGenerator gen(task, 7);
+            auto requests = gen.generate(48, 64);
+            auto opt = (i % 2) == 0 ? PimphonyOptions{true, true, false}
+                                    : PimphonyOptions::all();
+            return runServing(cluster, model, requests, opt);
+        });
+
     double dpa_sum = 0.0;
     int n = 0;
-    for (TraceTask task : allTraceTasks()) {
-        bool lveval = task == TraceTask::MultifieldQa ||
-                      task == TraceTask::LoogleSd;
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+        bool lveval = tasks[ti] == TraceTask::MultifieldQa ||
+                      tasks[ti] == TraceTask::LoogleSd;
         auto model = LlmConfig::llm7b(lveval);
-        auto cluster = ClusterConfig::centLike(model);
-        TraceGenerator gen(task, 7);
-        auto requests = gen.generate(48, 64);
-
-        auto st = runServing(cluster, model, requests,
-                             PimphonyOptions{true, true, false});
-        auto dp = runServing(cluster, model, requests,
-                             PimphonyOptions::all());
+        const auto &st = outs[2 * ti].value;
+        const auto &dp = outs[2 * ti + 1].value;
         dpa_sum += dp.capacityUtilization;
         ++n;
-        t.addRow({traceTaskName(task), model.name,
+        t.addRow({traceTaskName(tasks[ti]), model.name,
                   TablePrinter::fmtPercent(st.capacityUtilization),
                   TablePrinter::fmtPercent(dp.capacityUtilization),
                   TablePrinter::fmt(st.avgEffectiveBatch, 1),
-                  TablePrinter::fmt(dp.avgEffectiveBatch, 1)});
+                  TablePrinter::fmt(dp.avgEffectiveBatch, 1)},
+                 args.threads,
+                 outs[2 * ti].wallSeconds +
+                     outs[2 * ti + 1].wallSeconds);
     }
     t.print(std::cout);
     std::cout << "  DPA average: "

@@ -16,7 +16,8 @@ namespace {
 
 void
 compare(const char *title, const LlmConfig &model, TraceTask task,
-        unsigned n_gpus, bench::JsonRows *json)
+        unsigned n_gpus, bench::JsonRows *json,
+        const bench::BenchArgs &args)
 {
     printBanner(std::cout, title);
     TraceGenerator gen(task, 55);
@@ -34,9 +35,11 @@ compare(const char *title, const LlmConfig &model, TraceTask task,
     t.addRow({"GPU (A100 x" + TablePrinter::fmtInt(n_gpus) + ", FD+PA)",
               TablePrinter::fmt(g.tokensPerSecond, 1), "1.00x"});
 
-    for (auto kind : {SystemKind::PimOnly, SystemKind::XpuPim}) {
+    const std::vector<SystemKind> kinds = {SystemKind::PimOnly,
+                                           SystemKind::XpuPim};
+    auto outs = bench::runSweep(args, kinds.size(), [&](std::size_t i) {
         OrchestratorConfig cfg;
-        cfg.system = kind;
+        cfg.system = kinds[i];
         cfg.model = model;
         cfg.options = PimphonyOptions::all();
         cfg.plan = ParallelPlan{0, 0};
@@ -44,11 +47,15 @@ compare(const char *title, const LlmConfig &model, TraceTask task,
         cfg.decodeTokens = 32;
         cfg.seed = 55;
         PimphonyOrchestrator orch(cfg);
-        auto r = orch.evaluate(task);
-        t.addRow({systemKindName(kind) + " + PIMphony",
+        return orch.evaluate(task);
+    });
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        const auto &r = outs[i].value;
+        t.addRow({systemKindName(kinds[i]) + " + PIMphony",
                   TablePrinter::fmt(r.engine.tokensPerSecond, 1),
                   bench::fmtSpeedup(r.engine.tokensPerSecond /
-                                    g.tokensPerSecond)});
+                                    g.tokensPerSecond)},
+                 args.threads, outs[i].wallSeconds);
     }
     t.print(std::cout);
 }
@@ -65,16 +72,16 @@ main(int argc, char **argv)
     compare("Fig. 20(a): LLM-7B-32K (non-GQA) on QMSum, GPU memory "
             "matched (2x A100-80GB)",
             LlmConfig::llm7b(false), TraceTask::QMSum, 2,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     compare("Fig. 20(b): LLM-7B-128K-GQA on multifieldqa (2x A100)",
             LlmConfig::llm7b(true), TraceTask::MultifieldQa, 2,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     compare("Fig. 20(a): LLM-72B-32K (non-GQA) on QMSum (8x A100)",
             LlmConfig::llm72b(false), TraceTask::QMSum, 8,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     compare("Fig. 20(b): LLM-72B-128K-GQA on multifieldqa (8x A100)",
             LlmConfig::llm72b(true), TraceTask::MultifieldQa, 8,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -15,7 +15,8 @@ using namespace pimphony;
 namespace {
 
 void
-contextCase(const char *title, Tokens mean_context, Tokens t_max, bench::JsonRows *json)
+contextCase(const char *title, Tokens mean_context, Tokens t_max,
+            bench::JsonRows *json, const bench::BenchArgs &args)
 {
     printBanner(std::cout, title);
     auto model = LlmConfig::llm7b(true);
@@ -26,6 +27,15 @@ contextCase(const char *title, Tokens mean_context, Tokens t_max, bench::JsonRow
     // the admission limit (not the trace size) sets the batch.
     auto requests = gen.generateScaled(96, mean_context, 32);
 
+    // One sweep cell per cumulative stack; the util-gain column is a
+    // ratio of adjacent rows, so it is computed during the serial
+    // emission pass, not inside the cells.
+    auto opts = bench::cumulativeOptions();
+    auto outs = bench::runSweep(args, opts.size(), [&](std::size_t i) {
+        auto cluster = ClusterConfig::centLike(model);
+        return runServing(cluster, model, requests, opts[i]);
+    });
+
     bench::MirroredTable t(
 
         {"config", "MAC util", "util gain", "tokens/s",
@@ -33,18 +43,18 @@ contextCase(const char *title, Tokens mean_context, Tokens t_max, bench::JsonRow
 
         json);
     double prev_util = 0.0;
-    for (const auto &opt : bench::cumulativeOptions()) {
-        auto cluster = ClusterConfig::centLike(model);
-        auto r = runServing(cluster, model, requests, opt);
+    for (std::size_t i = 0; i < opts.size(); ++i) {
+        const auto &r = outs[i].value;
         std::string gain = prev_util > 0.0
             ? bench::fmtSpeedup(r.macUtilization / prev_util)
             : std::string("-");
-        t.addRow({opt.label(),
+        t.addRow({opts[i].label(),
                   TablePrinter::fmtPercent(r.macUtilization),
                   gain,
                   TablePrinter::fmt(r.tokensPerSecond, 1),
                   TablePrinter::fmt(r.avgEffectiveBatch, 1),
-                  TablePrinter::fmtPercent(r.capacityUtilization)});
+                  TablePrinter::fmtPercent(r.capacityUtilization)},
+                 args.threads, outs[i].wallSeconds);
         prev_util = r.macUtilization;
     }
     t.print(std::cout);
@@ -60,12 +70,12 @@ main(int argc, char **argv)
         argc, argv, "Fig. 4: effective batch and MAC utilization");
     bench::JsonRows json("bench_fig4_utilization");
     contextCase("Fig. 4(a): short context (~4K, T_max 4K)", 4096, 4096,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     contextCase("Fig. 4(b): long context (~32K, T_max 32K; paper: 48% "
                 "baseline util drop vs (a), gains 1.4x/1.9x/1.1x, "
                 "effective batch 53)",
                 28000, 32768,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     bench::writeJsonIfRequested(json, args);
     return 0;
 }

@@ -15,7 +15,8 @@ using namespace pimphony;
 namespace {
 
 void
-sweep(SchedulerKind sched, const char *title, unsigned obuf, bench::JsonRows *json)
+sweep(SchedulerKind sched, const char *title, unsigned obuf,
+      bench::JsonRows *json, const bench::BenchArgs &args)
 {
     printBanner(std::cout, title);
     bench::MirroredTable t(
@@ -26,16 +27,22 @@ sweep(SchedulerKind sched, const char *title, unsigned obuf, bench::JsonRows *js
     AimTimingParams params = AimTimingParams::aimxWithObuf(obuf);
     if (obuf <= 1)
         params = AimTimingParams::aimx();
-    for (std::uint64_t d : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
-        auto spec = GemvSpec::fromDims(d, d);
-        auto r = simulateKernel(KernelRequest::makeGemv(spec, sched),
-                                params);
+    const std::vector<std::uint64_t> dims = {128, 256, 512, 1024, 2048,
+                                             4096};
+    auto outs = bench::runSweep(args, dims.size(), [&](std::size_t i) {
+        auto spec = GemvSpec::fromDims(dims[i], dims[i]);
+        return simulateKernel(KernelRequest::makeGemv(spec, sched),
+                              params);
+    });
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        const auto &r = outs[i].value;
         auto pct = [&](Cycle c) {
             return TablePrinter::fmtPercent(
                 static_cast<double>(c) /
                 static_cast<double>(r.makespan));
         };
-        t.addRow({TablePrinter::fmtInt(d) + "x" + TablePrinter::fmtInt(d),
+        t.addRow({TablePrinter::fmtInt(dims[i]) + "x" +
+                      TablePrinter::fmtInt(dims[i]),
                   TablePrinter::fmtInt(r.makespan),
                   pct(r.breakdown.macCycles),
                   pct(r.breakdown.actPreCycles),
@@ -43,7 +50,8 @@ sweep(SchedulerKind sched, const char *title, unsigned obuf, bench::JsonRows *js
                   pct(r.breakdown.dtGbufCycles),
                   pct(r.breakdown.dtOutregCycles),
                   pct(r.breakdown.pipelinePenaltyCycles),
-                  TablePrinter::fmtPercent(r.macUtilization)});
+                  TablePrinter::fmtPercent(r.macUtilization)},
+                 args.threads, outs[i].wallSeconds);
     }
     t.print(std::cout);
 }
@@ -61,12 +69,12 @@ main(int argc, char **argv)
           "Fig. 8: latency breakdown vs matrix dims -- static "
           "scheduler, single OutReg (baseline)",
           1,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     sweep(SchedulerKind::Dcs,
           "Reference: same sweep with DCS + I/O-aware buffering "
           "(PIMphony)",
           16,
-         args.json ? &json : nullptr);
+         args.json ? &json : nullptr, args);
     bench::writeJsonIfRequested(json, args);
     return 0;
 }

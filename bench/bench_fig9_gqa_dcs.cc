@@ -49,6 +49,20 @@ main(int argc, char **argv)
     auto base = AimTimingParams::aimx();
     auto obuf = AimTimingParams::aimxWithObuf(16);
 
+    // The four (a)/(b) kernel sims are independent — run them as one
+    // 4-cell sweep: {QK^T, SV} x {static, DCS}.
+    auto ab = bench::runSweep(args, 4, [&](std::size_t i) {
+        bool sv = i >= 2;
+        auto sched = (i % 2) ? SchedulerKind::Dcs : SchedulerKind::Static;
+        auto req = sv ? KernelRequest::makeSv(spec, sched)
+                      : KernelRequest::makeQkt(spec, sched);
+        return simulateKernel(req, (i % 2) ? obuf : base);
+    });
+    const auto &qkt_st = ab[0].value;
+    const auto &qkt_dc = ab[1].value;
+    const auto &sv_st = ab[2].value;
+    const auto &sv_dc = ab[3].value;
+
     printBanner(std::cout,
                 "Fig. 9(a): LLM-72B QK^T latency breakdown, row-reuse "
                 "mapping (16K tokens/channel, g=8)");
@@ -56,10 +70,6 @@ main(int argc, char **argv)
         {"config", "cycles", "MAC", "ACT/PRE", "REF",
                     "DT-GBuf", "DT-OutReg", "Pipeline", "MAC util"},
         args.json ? &json : nullptr, "a");
-    auto qkt_st = simulateKernel(
-        KernelRequest::makeQkt(spec, SchedulerKind::Static), base);
-    auto qkt_dc = simulateKernel(
-        KernelRequest::makeQkt(spec, SchedulerKind::Dcs), obuf);
     rows(a, "static", qkt_st);
     rows(a, "DCS", qkt_dc);
     a.addRow({"speedup",
@@ -72,10 +82,6 @@ main(int argc, char **argv)
         {"config", "cycles", "MAC", "ACT/PRE", "REF",
                     "DT-GBuf", "DT-OutReg", "Pipeline", "MAC util"},
         args.json ? &json : nullptr, "b");
-    auto sv_st = simulateKernel(
-        KernelRequest::makeSv(spec, SchedulerKind::Static), base);
-    auto sv_dc = simulateKernel(
-        KernelRequest::makeSv(spec, SchedulerKind::Dcs), obuf);
     rows(b, "static", sv_st);
     rows(b, "DCS", sv_dc);
     b.addRow({"speedup",
@@ -89,19 +95,30 @@ main(int argc, char **argv)
     bench::MirroredTable c(
         {"mapping", "scheduler", "QKT cycles", "activates"},
         args.json ? &json : nullptr, "c");
-    for (bool rr : {false, true}) {
-        for (auto sched :
-             {SchedulerKind::Static, SchedulerKind::Dcs}) {
+    struct MapCell
+    {
+        bool rr;
+        SchedulerKind sched;
+    };
+    std::vector<MapCell> map_cells;
+    for (bool rr : {false, true})
+        for (auto sched : {SchedulerKind::Static, SchedulerKind::Dcs})
+            map_cells.push_back({rr, sched});
+    auto map_outs =
+        bench::runSweep(args, map_cells.size(), [&](std::size_t i) {
             AttentionSpec s2 = spec;
-            s2.rowReuse = rr;
-            auto r = simulateKernel(
-                KernelRequest::makeQkt(s2, sched),
-                sched == SchedulerKind::Dcs ? obuf : base);
-            c.addRow({rr ? "row-reuse" : "input-reuse",
-                      schedulerName(sched),
-                      TablePrinter::fmtInt(r.makespan),
-                      TablePrinter::fmtInt(r.activates)});
-        }
+            s2.rowReuse = map_cells[i].rr;
+            return simulateKernel(
+                KernelRequest::makeQkt(s2, map_cells[i].sched),
+                map_cells[i].sched == SchedulerKind::Dcs ? obuf : base);
+        });
+    for (std::size_t i = 0; i < map_cells.size(); ++i) {
+        const auto &r = map_outs[i].value;
+        c.addRow({map_cells[i].rr ? "row-reuse" : "input-reuse",
+                  schedulerName(map_cells[i].sched),
+                  TablePrinter::fmtInt(r.makespan),
+                  TablePrinter::fmtInt(r.activates)},
+                 args.threads, map_outs[i].wallSeconds);
     }
     c.print(std::cout);
     bench::writeJsonIfRequested(json, args);

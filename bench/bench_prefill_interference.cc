@@ -44,32 +44,52 @@ sweep(std::size_t n_requests, Tokens context, Tokens decode,
     bench::JsonRows json("bench_prefill_interference");
     TablePrinter t({"rate (req/s)", "chunk (tok)", "tok/s",
                     "ttft p95 (s)", "gap p95 (ms)", "prefill (s)"});
-    for (double rate : rates) {
-        auto timed = poissonArrivals(reqs, rate, 17);
-        for (Tokens chunk : chunks) {
-            EngineOptions opts;
-            opts.allocator = AllocatorKind::LazyChunk;
-            opts.stepModel = StepModel::EventDriven;
-            opts.prefillChunkTokens = chunk;
-            opts.chargePrefill = chunk == 0;
-            auto r = ServingEngine(cluster, model, timed, opts).run();
-            t.addRow({TablePrinter::fmt(rate, 1),
-                      chunk == 0 ? "scalar" : std::to_string(chunk),
-                      TablePrinter::fmt(r.tokensPerSecond, 1),
-                      TablePrinter::fmt(r.p95FirstTokenSeconds, 2),
-                      TablePrinter::fmt(r.p95TokenGapSeconds * 1e3, 1),
-                      TablePrinter::fmt(r.prefillSeconds, 2)});
-            if (args.json) {
-                json.beginRow();
-                json.field("rate_rps", rate);
-                json.field("chunk_tokens",
-                           static_cast<std::uint64_t>(chunk));
-                json.field("tokens_per_second", r.tokensPerSecond);
-                json.field("ttft_p95_s", r.p95FirstTokenSeconds);
-                json.field("gap_p95_s", r.p95TokenGapSeconds);
-                json.field("prefill_s", r.prefillSeconds);
-                json.field("sim_events", r.simEvents);
-            }
+
+    // Flattened (rate, chunk) grid for the sweep runner: each cell
+    // rebuilds its seeded arrival trace, so any thread count yields
+    // the serial rows bit-identically, in submission order.
+    struct Cell
+    {
+        double rate;
+        Tokens chunk;
+    };
+    std::vector<Cell> cells;
+    for (double rate : rates)
+        for (Tokens chunk : chunks)
+            cells.push_back({rate, chunk});
+
+    auto outs = bench::runSweep(args, cells.size(), [&](std::size_t i) {
+        const Cell &c = cells[i];
+        auto timed = poissonArrivals(reqs, c.rate, 17);
+        EngineOptions opts;
+        opts.allocator = AllocatorKind::LazyChunk;
+        opts.stepModel = StepModel::EventDriven;
+        opts.prefillChunkTokens = c.chunk;
+        opts.chargePrefill = c.chunk == 0;
+        return ServingEngine(cluster, model, timed, opts).run();
+    });
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        const EngineResult &r = outs[i].value;
+        t.addRow({TablePrinter::fmt(c.rate, 1),
+                  c.chunk == 0 ? "scalar" : std::to_string(c.chunk),
+                  TablePrinter::fmt(r.tokensPerSecond, 1),
+                  TablePrinter::fmt(r.p95FirstTokenSeconds, 2),
+                  TablePrinter::fmt(r.p95TokenGapSeconds * 1e3, 1),
+                  TablePrinter::fmt(r.prefillSeconds, 2)});
+        if (args.json) {
+            json.beginRow();
+            json.field("rate_rps", c.rate);
+            json.field("chunk_tokens",
+                       static_cast<std::uint64_t>(c.chunk));
+            json.field("tokens_per_second", r.tokensPerSecond);
+            json.field("ttft_p95_s", r.p95FirstTokenSeconds);
+            json.field("gap_p95_s", r.p95TokenGapSeconds);
+            json.field("prefill_s", r.prefillSeconds);
+            json.field("sim_events", r.simEvents);
+            json.field("threads", args.threads);
+            json.field("config_wall_ms", outs[i].wallSeconds * 1e3);
         }
     }
     t.print(std::cout);

@@ -50,46 +50,67 @@ sweep(std::size_t n_requests, Tokens decode, Tokens chunk,
     TablePrinter t({"ctx (tok)", "rate (req/s)", "policy", "tok/s",
                     "ttft p95 (s)", "gap p95 (ms)", "fc wait max (ms)",
                     "slices", "defers", "prefill (s)"});
-    for (Tokens ctx : contexts) {
+
+    // Flatten the (ctx, rate, policy) grid into independent sweep
+    // cells for the runner; every cell rebuilds its request list and
+    // seeded arrivals, so results are bit-identical at any thread
+    // count and rows come back in submission order.
+    struct Cell
+    {
+        Tokens ctx;
+        double rate;
+        SchedPolicyKind kind;
+    };
+    std::vector<Cell> cells;
+    for (Tokens ctx : contexts)
+        for (double rate : rates)
+            for (SchedPolicyKind kind : allSchedPolicies())
+                cells.push_back({ctx, rate, kind});
+
+    auto outs = bench::runSweep(args, cells.size(), [&](std::size_t i) {
+        const Cell &c = cells[i];
         std::vector<Request> reqs;
-        for (RequestId i = 0; i < n_requests; ++i)
-            reqs.push_back({i, ctx, decode});
-        for (double rate : rates) {
-            auto timed = gammaArrivals(reqs, rate, 3.0, 17);
-            for (SchedPolicyKind kind : allSchedPolicies()) {
-                EngineOptions opts;
-                opts.allocator = AllocatorKind::LazyChunk;
-                opts.stepModel = StepModel::EventDriven;
-                opts.prefillChunkTokens = chunk;
-                opts.sched.kind = kind;
-                auto r = ServingEngine(cluster, model, timed, opts).run();
-                t.addRow({std::to_string(ctx), TablePrinter::fmt(rate, 1),
-                          schedPolicyName(kind),
-                          TablePrinter::fmt(r.tokensPerSecond, 1),
-                          TablePrinter::fmt(r.p95FirstTokenSeconds, 2),
-                          TablePrinter::fmt(r.p95TokenGapSeconds * 1e3, 1),
-                          TablePrinter::fmt(
-                              r.maxDecodeXpuWaitSeconds * 1e3, 1),
-                          std::to_string(r.chunkSlices),
-                          std::to_string(r.sloDeferrals),
-                          TablePrinter::fmt(r.prefillSeconds, 2)});
-                if (args.json) {
-                    json.beginRow();
-                    json.field("context_tokens",
-                               static_cast<std::uint64_t>(ctx));
-                    json.field("rate_rps", rate);
-                    json.field("policy", schedPolicyName(kind));
-                    json.field("tokens_per_second", r.tokensPerSecond);
-                    json.field("ttft_p95_s", r.p95FirstTokenSeconds);
-                    json.field("gap_p95_s", r.p95TokenGapSeconds);
-                    json.field("max_decode_xpu_wait_s",
-                               r.maxDecodeXpuWaitSeconds);
-                    json.field("chunk_slices", r.chunkSlices);
-                    json.field("slo_deferrals", r.sloDeferrals);
-                    json.field("prefill_s", r.prefillSeconds);
-                    json.field("sim_events", r.simEvents);
-                }
-            }
+        for (RequestId r = 0; r < n_requests; ++r)
+            reqs.push_back({r, c.ctx, decode});
+        auto timed = gammaArrivals(reqs, c.rate, 3.0, 17);
+        EngineOptions opts;
+        opts.allocator = AllocatorKind::LazyChunk;
+        opts.stepModel = StepModel::EventDriven;
+        opts.prefillChunkTokens = chunk;
+        opts.sched.kind = c.kind;
+        return ServingEngine(cluster, model, timed, opts).run();
+    });
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        const EngineResult &r = outs[i].value;
+        t.addRow({std::to_string(c.ctx), TablePrinter::fmt(c.rate, 1),
+                  schedPolicyName(c.kind),
+                  TablePrinter::fmt(r.tokensPerSecond, 1),
+                  TablePrinter::fmt(r.p95FirstTokenSeconds, 2),
+                  TablePrinter::fmt(r.p95TokenGapSeconds * 1e3, 1),
+                  TablePrinter::fmt(
+                      r.maxDecodeXpuWaitSeconds * 1e3, 1),
+                  std::to_string(r.chunkSlices),
+                  std::to_string(r.sloDeferrals),
+                  TablePrinter::fmt(r.prefillSeconds, 2)});
+        if (args.json) {
+            json.beginRow();
+            json.field("context_tokens",
+                       static_cast<std::uint64_t>(c.ctx));
+            json.field("rate_rps", c.rate);
+            json.field("policy", schedPolicyName(c.kind));
+            json.field("tokens_per_second", r.tokensPerSecond);
+            json.field("ttft_p95_s", r.p95FirstTokenSeconds);
+            json.field("gap_p95_s", r.p95TokenGapSeconds);
+            json.field("max_decode_xpu_wait_s",
+                       r.maxDecodeXpuWaitSeconds);
+            json.field("chunk_slices", r.chunkSlices);
+            json.field("slo_deferrals", r.sloDeferrals);
+            json.field("prefill_s", r.prefillSeconds);
+            json.field("sim_events", r.simEvents);
+            json.field("threads", args.threads);
+            json.field("config_wall_ms", outs[i].wallSeconds * 1e3);
         }
     }
     t.print(std::cout);

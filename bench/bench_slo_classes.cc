@@ -56,82 +56,98 @@ sweep(std::size_t n_requests, Tokens decode, Tokens chunk,
     TablePrinter t({"ctx (tok)", "rate (req/s)", "tier0 %", "policy",
                     "tok/s", "t0 gap p95 (ms)", "t1 gap p95 (ms)",
                     "t0 ttft p95 (s)", "inversions", "dec slices"});
-    for (Tokens ctx : contexts) {
-        for (double rate : rates) {
-            for (double frac : tier0_fracs) {
-                std::vector<Request> reqs;
-                std::size_t n_tier0 = static_cast<std::size_t>(
-                    frac * static_cast<double>(n_requests) + 0.5);
-                for (RequestId i = 0; i < n_requests; ++i) {
-                    Request r{i, ctx, decode};
-                    r.cls = i < n_tier0 ? interactive : batch;
-                    reqs.push_back(r);
-                }
-                OnOffTraffic traffic;
-                traffic.onRate = rate * 3.0;
-                traffic.offRate = 0.0;
-                traffic.meanOnSeconds = 1.0;
-                traffic.meanOffSeconds = 2.0;
-                auto timed = onOffArrivals(reqs, traffic, 17);
-
+    // Flattened (ctx, rate, frac, policy) grid for the sweep runner:
+    // every cell rebuilds its tiered request list and seeded on/off
+    // arrivals, keeping an N-thread run bit-identical to serial with
+    // rows in submission order.
+    struct Cell
+    {
+        Tokens ctx;
+        double rate;
+        double frac;
+        SchedPolicyKind kind;
+    };
+    std::vector<Cell> cells;
+    for (Tokens ctx : contexts)
+        for (double rate : rates)
+            for (double frac : tier0_fracs)
                 for (SchedPolicyKind kind :
                      {SchedPolicyKind::Fifo,
-                      SchedPolicyKind::TierPriority}) {
-                    EngineOptions opts;
-                    opts.allocator = AllocatorKind::LazyChunk;
-                    opts.stepModel = StepModel::EventDriven;
-                    opts.prefillChunkTokens = chunk;
-                    opts.sched.kind = kind;
-                    auto r = ServingEngine(cluster, model, timed, opts)
-                                 .run();
-                    double t0_gap = 0.0, t1_gap = 0.0, t0_ttft = 0.0;
-                    for (const auto &cl : r.classLatencies) {
-                        if (cl.tier == 0) {
-                            t0_gap = cl.p95TokenGapSeconds;
-                            t0_ttft = cl.p95FirstTokenSeconds;
-                        } else if (cl.tier == 1) {
-                            t1_gap = cl.p95TokenGapSeconds;
-                        }
-                    }
-                    t.addRow({std::to_string(ctx),
-                              TablePrinter::fmt(rate, 1),
-                              TablePrinter::fmt(frac * 100.0, 0),
-                              schedPolicyName(kind),
-                              TablePrinter::fmt(r.tokensPerSecond, 1),
-                              TablePrinter::fmt(t0_gap * 1e3, 1),
-                              TablePrinter::fmt(t1_gap * 1e3, 1),
-                              TablePrinter::fmt(t0_ttft, 2),
-                              std::to_string(r.tierInversions),
-                              std::to_string(r.decodePreemptSlices)});
-                    if (args.json) {
-                        json.beginRow();
-                        json.field("context_tokens",
-                                   static_cast<std::uint64_t>(ctx));
-                        json.field("rate_rps", rate);
-                        json.field("tier0_frac", frac);
-                        json.field("policy", schedPolicyName(kind));
-                        json.field("tokens_per_second",
-                                   r.tokensPerSecond);
-                        json.field("tier0_gap_p95_s", t0_gap);
-                        json.field("tier1_gap_p95_s", t1_gap);
-                        json.field("tier0_ttft_p95_s", t0_ttft);
-                        json.field("gap_p95_s", r.p95TokenGapSeconds);
-                        json.field("tier_inversions",
-                                   r.tierInversions);
-                        json.field("decode_preempt_slices",
-                                   r.decodePreemptSlices);
-                        json.field("chunk_slices", r.chunkSlices);
-                        json.field("slo_deferrals", r.sloDeferrals);
-                        json.field("sim_events", r.simEvents);
-                        for (const auto &to : r.tenantOccupancy) {
-                            std::string key =
-                                "tenant" + std::to_string(to.tenant) +
-                                "_avg_share";
-                            json.field(key.c_str(), to.avgTokenShare);
-                        }
-                    }
-                }
+                      SchedPolicyKind::TierPriority})
+                    cells.push_back({ctx, rate, frac, kind});
+
+    auto outs = bench::runSweep(args, cells.size(), [&](std::size_t i) {
+        const Cell &c = cells[i];
+        std::vector<Request> reqs;
+        std::size_t n_tier0 = static_cast<std::size_t>(
+            c.frac * static_cast<double>(n_requests) + 0.5);
+        for (RequestId id = 0; id < n_requests; ++id) {
+            Request r{id, c.ctx, decode};
+            r.cls = id < n_tier0 ? interactive : batch;
+            reqs.push_back(r);
+        }
+        OnOffTraffic traffic;
+        traffic.onRate = c.rate * 3.0;
+        traffic.offRate = 0.0;
+        traffic.meanOnSeconds = 1.0;
+        traffic.meanOffSeconds = 2.0;
+        auto timed = onOffArrivals(reqs, traffic, 17);
+        EngineOptions opts;
+        opts.allocator = AllocatorKind::LazyChunk;
+        opts.stepModel = StepModel::EventDriven;
+        opts.prefillChunkTokens = chunk;
+        opts.sched.kind = c.kind;
+        return ServingEngine(cluster, model, timed, opts).run();
+    });
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        const EngineResult &r = outs[i].value;
+        double t0_gap = 0.0, t1_gap = 0.0, t0_ttft = 0.0;
+        for (const auto &cl : r.classLatencies) {
+            if (cl.tier == 0) {
+                t0_gap = cl.p95TokenGapSeconds;
+                t0_ttft = cl.p95FirstTokenSeconds;
+            } else if (cl.tier == 1) {
+                t1_gap = cl.p95TokenGapSeconds;
             }
+        }
+        t.addRow({std::to_string(c.ctx),
+                  TablePrinter::fmt(c.rate, 1),
+                  TablePrinter::fmt(c.frac * 100.0, 0),
+                  schedPolicyName(c.kind),
+                  TablePrinter::fmt(r.tokensPerSecond, 1),
+                  TablePrinter::fmt(t0_gap * 1e3, 1),
+                  TablePrinter::fmt(t1_gap * 1e3, 1),
+                  TablePrinter::fmt(t0_ttft, 2),
+                  std::to_string(r.tierInversions),
+                  std::to_string(r.decodePreemptSlices)});
+        if (args.json) {
+            json.beginRow();
+            json.field("context_tokens",
+                       static_cast<std::uint64_t>(c.ctx));
+            json.field("rate_rps", c.rate);
+            json.field("tier0_frac", c.frac);
+            json.field("policy", schedPolicyName(c.kind));
+            json.field("tokens_per_second", r.tokensPerSecond);
+            json.field("tier0_gap_p95_s", t0_gap);
+            json.field("tier1_gap_p95_s", t1_gap);
+            json.field("tier0_ttft_p95_s", t0_ttft);
+            json.field("gap_p95_s", r.p95TokenGapSeconds);
+            json.field("tier_inversions", r.tierInversions);
+            json.field("decode_preempt_slices",
+                       r.decodePreemptSlices);
+            json.field("chunk_slices", r.chunkSlices);
+            json.field("slo_deferrals", r.sloDeferrals);
+            json.field("sim_events", r.simEvents);
+            for (const auto &to : r.tenantOccupancy) {
+                std::string key = "tenant" +
+                                  std::to_string(to.tenant) +
+                                  "_avg_share";
+                json.field(key.c_str(), to.avgTokenShare);
+            }
+            json.field("threads", args.threads);
+            json.field("config_wall_ms", outs[i].wallSeconds * 1e3);
         }
     }
     t.print(std::cout);

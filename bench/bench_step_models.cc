@@ -18,7 +18,7 @@ namespace {
 
 void
 sweep(const char *title, SystemKind system, const LlmConfig &model,
-      TraceTask task, bool smoke)
+      TraceTask task, const bench::BenchArgs &args)
 {
     printBanner(std::cout, title);
 
@@ -28,26 +28,42 @@ sweep(const char *title, SystemKind system, const LlmConfig &model,
     PimphonyOrchestrator plans_orch(probe);
     auto plans = plans_orch.candidatePlans();
 
-    TablePrinter t({"plan", "analytic tok/s", "event tok/s", "ratio"});
-    for (const auto &plan : plans) {
-        double tps[2] = {0.0, 0.0};
-        int i = 0;
+    // Flattened (plan, step model) grid for the sweep runner; each
+    // cell builds its own orchestrator, so rows are bit-identical at
+    // any thread count. Cells 2p / 2p+1 are plan p's analytic and
+    // event-driven runs.
+    struct Cell
+    {
+        ParallelPlan plan;
+        StepModel sm;
+    };
+    std::vector<Cell> cells;
+    for (const auto &plan : plans)
         for (StepModel sm :
-             {StepModel::Analytic, StepModel::EventDriven}) {
-            OrchestratorConfig cfg;
-            cfg.system = system;
-            cfg.model = model;
-            cfg.options = PimphonyOptions::all();
-            cfg.plan = plan;
-            cfg.stepModel = sm;
-            cfg.nRequests = smoke ? 8 : 24;
-            cfg.decodeTokens = smoke ? 8 : 32;
-            PimphonyOrchestrator orch(cfg);
-            tps[i++] = orch.evaluate(task).engine.tokensPerSecond;
-        }
-        t.addRow({plan.toString(), TablePrinter::fmt(tps[0], 1),
-                  TablePrinter::fmt(tps[1], 1),
-                  bench::fmtSpeedup(tps[1] / tps[0])});
+             {StepModel::Analytic, StepModel::EventDriven})
+            cells.push_back({plan, sm});
+
+    auto outs = bench::runSweep(args, cells.size(), [&](std::size_t i) {
+        const Cell &c = cells[i];
+        OrchestratorConfig cfg;
+        cfg.system = system;
+        cfg.model = model;
+        cfg.options = PimphonyOptions::all();
+        cfg.plan = c.plan;
+        cfg.stepModel = c.sm;
+        cfg.nRequests = args.smoke ? 8 : 24;
+        cfg.decodeTokens = args.smoke ? 8 : 32;
+        PimphonyOrchestrator orch(cfg);
+        return orch.evaluate(task).engine.tokensPerSecond;
+    });
+
+    TablePrinter t({"plan", "analytic tok/s", "event tok/s", "ratio"});
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+        double analytic = outs[2 * p].value;
+        double event = outs[2 * p + 1].value;
+        t.addRow({plans[p].toString(), TablePrinter::fmt(analytic, 1),
+                  TablePrinter::fmt(event, 1),
+                  bench::fmtSpeedup(event / analytic)});
     }
     t.print(std::cout);
 }
@@ -62,9 +78,9 @@ main(int argc, char **argv)
         argc, argv, "event-driven vs analytic step-model comparison");
     sweep("Step models, PIM-only, LLM-7B-128K-GQA on multifieldqa",
           SystemKind::PimOnly, LlmConfig::llm7b(true),
-          TraceTask::MultifieldQa, args.smoke);
+          TraceTask::MultifieldQa, args);
     sweep("Step models, PIM-only, LLM-7B-32K on QMSum",
           SystemKind::PimOnly, LlmConfig::llm7b(false),
-          TraceTask::QMSum, args.smoke);
+          TraceTask::QMSum, args);
     return 0;
 }

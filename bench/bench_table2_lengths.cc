@@ -25,12 +25,17 @@ main(int argc, char **argv)
                     "ours", "paper max", "ours", "paper min", "ours"},
 
         args.json ? &json : nullptr);
-    for (TraceTask task : allTraceTasks()) {
-        const auto &ref = traceTaskStats(task);
-        TraceGenerator gen(task, 2026);
+    auto tasks = allTraceTasks();
+    auto outs = bench::runSweep(args, tasks.size(), [&](std::size_t i) {
+        TraceGenerator gen(tasks[i], 2026);
         StatAccumulator s;
         for (const auto &r : gen.generate(20000))
             s.add(static_cast<double>(r.contextTokens));
+        return s;
+    });
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const auto &ref = traceTaskStats(tasks[i]);
+        const auto &s = outs[i].value;
         t.addRow({ref.name, ref.suite, TablePrinter::fmt(ref.mean, 0),
                   TablePrinter::fmt(s.mean(), 0),
                   TablePrinter::fmt(ref.stddev, 0),
@@ -38,7 +43,8 @@ main(int argc, char **argv)
                   TablePrinter::fmt(ref.max, 0),
                   TablePrinter::fmt(s.max(), 0),
                   TablePrinter::fmt(ref.min, 0),
-                  TablePrinter::fmt(s.min(), 0)});
+                  TablePrinter::fmt(s.min(), 0)},
+                 args.threads, outs[i].wallSeconds);
     }
     t.print(std::cout);
     bench::writeJsonIfRequested(json, args);

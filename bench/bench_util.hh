@@ -10,6 +10,7 @@
 #define PIMPHONY_BENCH_BENCH_UTIL_HH
 
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -17,9 +18,12 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "core/orchestrator.hh"
 
@@ -36,20 +40,29 @@ struct BenchArgs
 
     /** Output path for --json (default BENCH_<bench name>.json). */
     std::string jsonPath;
+
+    /**
+     * Sweep concurrency (--threads N, else PIMPHONY_THREADS, else
+     * 1 = the exact serial path). --threads 0 resolves to all
+     * hardware threads.
+     */
+    unsigned threads = 1;
 };
 
 /**
  * Minimal flag handling for the serving benches: recognizes --smoke
  * (tiny sweep for CI liveness), --json[=PATH] (machine-readable
  * rows; PATH defaults to BENCH_<name>.json in the working
- * directory), and --help, and fails loudly — usage on stderr,
- * exit 2 — on anything else, so a typo'd flag cannot silently run
- * the full sweep in CI.
+ * directory), --threads N (sweep concurrency; 0 = all hardware
+ * threads, default PIMPHONY_THREADS else 1), and --help, and fails
+ * loudly — usage on stderr, exit 2 — on anything else, so a typo'd
+ * flag cannot silently run the full sweep in CI.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, const char *description)
 {
     BenchArgs out;
+    out.threads = SweepRunner::defaultThreads();
     std::string prog = argc > 0 ? argv[0] : "bench";
     std::string name = prog;
     std::size_t slash = name.find_last_of('/');
@@ -58,6 +71,17 @@ parseBenchArgs(int argc, char **argv, const char *description)
     if (name.rfind("bench_", 0) == 0)
         name = name.substr(6);
     out.jsonPath = "BENCH_" + name + ".json";
+    auto parse_threads = [&](const std::string &value) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+            std::cerr << prog << ": bad --threads value '" << value
+                      << "'\n";
+            std::exit(2);
+        }
+        out.threads = v == 0 ? SweepRunner::hardwareThreads()
+                             : static_cast<unsigned>(v);
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--smoke") {
@@ -67,24 +91,78 @@ parseBenchArgs(int argc, char **argv, const char *description)
         } else if (arg.rfind("--json=", 0) == 0) {
             out.json = true;
             out.jsonPath = arg.substr(7);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            parse_threads(argv[++i]);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            parse_threads(arg.substr(10));
         } else if (arg == "--help" || arg == "-h") {
             std::cout << prog << " -- " << description << "\n\n"
                       << "usage: " << prog
-                      << " [--smoke] [--json[=PATH]]\n"
+                      << " [--smoke] [--json[=PATH]] [--threads N]\n"
                       << "  --smoke        tiny sweep (CI keeps the "
                          "harness alive)\n"
                       << "  --json[=PATH]  also write machine-readable "
                          "rows (default "
                       << out.jsonPath << ")\n"
+                      << "  --threads N    run sweep configs on N "
+                         "threads (0 = all cores;\n"
+                         "                 default $PIMPHONY_THREADS, "
+                         "else 1 = serial).\n"
+                         "                 Rows are emitted in "
+                         "submission order and stay\n"
+                         "                 bit-identical to a serial "
+                         "run.\n"
                       << "  --help         this message\n";
             std::exit(0);
         } else {
             std::cerr << prog << ": unknown flag '" << arg << "'\n"
                       << "usage: " << prog
-                      << " [--smoke|--json[=PATH]|--help]\n";
+                      << " [--smoke|--json[=PATH]|--threads N|--help]\n";
             std::exit(2);
         }
     }
+    return out;
+}
+
+/**
+ * Outcome of one sweep cell run through runSweep: the cell's value
+ * plus its wall-clock seconds on whichever worker executed it. The
+ * wall time is recorded in JSON rows as config_wall_ms; under a
+ * parallel run it includes any core contention, so cross-config
+ * timing comparisons should use --threads 1 numbers.
+ */
+template <typename R>
+struct SweepCell
+{
+    R value{};
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Evaluate fn(0..n-1) on the configured sweep concurrency
+ * (args.threads; 1 = the exact serial loop) and return the outcomes
+ * in submission order. Cells must be independent: each builds its
+ * own engine/model instances and derives randomness from explicit
+ * per-cell seeds, which is what keeps an N-thread sweep
+ * bit-identical to the serial run. Emit table/JSON rows from the
+ * returned vector — never from inside fn.
+ */
+template <typename Fn>
+auto
+runSweep(const BenchArgs &args, std::size_t n, Fn &&fn)
+    -> std::vector<SweepCell<std::decay_t<decltype(fn(std::size_t{0}))>>>
+{
+    using R = std::decay_t<decltype(fn(std::size_t{0}))>;
+    std::vector<SweepCell<R>> out(n);
+    SweepRunner runner(args.threads);
+    runner.forEach(n, [&](std::size_t i) {
+        auto t0 = std::chrono::steady_clock::now();
+        out[i].value = fn(i);
+        out[i].wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+    });
     return out;
 }
 
@@ -236,6 +314,23 @@ class MirroredTable
         for (std::size_t i = 0; i < cells.size() && i < keys_.size();
              ++i)
             json_->field(keys_[i].c_str(), cells[i]);
+    }
+
+    /**
+     * addRow for sweep-runner cells: also records the runner
+     * provenance (threads, config_wall_ms) in the mirrored JSON row.
+     * Timing-stripped comparisons (the CI determinism jobs) drop
+     * both keys alongside wall_ms/events_per_sec.
+     */
+    void
+    addRow(const std::vector<std::string> &cells, unsigned threads,
+           double wall_seconds)
+    {
+        addRow(cells);
+        if (!json_)
+            return;
+        json_->field("threads", threads);
+        json_->field("config_wall_ms", wall_seconds * 1e3);
     }
 
     void print(std::ostream &os) { table_.print(os); }

@@ -1,13 +1,21 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 namespace pimphony {
 
 namespace {
 
-LogLevel g_threshold = LogLevel::Inform;
+// The threshold is read on every log call, possibly from sweep-runner
+// worker threads while a bench's main thread adjusts it; the sink
+// mutex serializes whole lines so concurrent messages never
+// interleave mid-line.
+std::atomic<LogLevel> g_threshold{LogLevel::Inform};
+std::mutex g_sink_mutex;
 
 const char *
 levelTag(LogLevel level)
@@ -24,11 +32,32 @@ levelTag(LogLevel level)
 void
 vlogMessage(LogLevel level, const char *fmt, va_list args)
 {
-    if (static_cast<int>(level) < static_cast<int>(g_threshold))
+    if (static_cast<int>(level) <
+        static_cast<int>(g_threshold.load(std::memory_order_relaxed)))
         return;
-    std::fprintf(stderr, "[%s] ", levelTag(level));
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+
+    // Format the whole line before touching the sink so the lock is
+    // held only for one write, and a line is emitted atomically with
+    // respect to other threads.
+    char stack_buf[512];
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt,
+                                args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return;
+
+    const char *msg = stack_buf;
+    std::vector<char> heap_buf;
+    if (static_cast<std::size_t>(needed) >= sizeof(stack_buf)) {
+        heap_buf.resize(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args);
+        msg = heap_buf.data();
+    }
+
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg);
 }
 
 } // namespace
@@ -36,13 +65,13 @@ vlogMessage(LogLevel level, const char *fmt, va_list args)
 void
 setLogThreshold(LogLevel level)
 {
-    g_threshold = level;
+    g_threshold.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logThreshold()
 {
-    return g_threshold;
+    return g_threshold.load(std::memory_order_relaxed);
 }
 
 void

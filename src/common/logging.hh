@@ -9,6 +9,12 @@
  * warn()   -- something is modelled approximately; results may be
  *             affected but execution continues.
  * inform() -- plain status output.
+ *
+ * The sink is thread-safe: the threshold is an atomic and every
+ * message is formatted off-lock and emitted as one serialized write,
+ * so concurrent sweep-runner workers (common/parallel) never
+ * interleave partial lines (regression-tested in
+ * tests/logging_test.cc).
  */
 
 #ifndef PIMPHONY_COMMON_LOGGING_HH

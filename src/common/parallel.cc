@@ -1,0 +1,170 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace pimphony {
+
+/**
+ * One job at a time: forEach publishes (fn, n) under the mutex and
+ * bumps the generation; workers race on an atomic next-index counter
+ * until the range drains, then report in. The calling thread pulls
+ * indices too, so a SweepRunner with T threads runs T cells
+ * concurrently on T - 1 workers plus the caller.
+ */
+struct SweepRunner::Pool
+{
+    std::mutex m;
+    std::condition_variable wake;
+    std::condition_variable done;
+
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> *excs = nullptr;
+
+    std::uint64_t generation = 0;
+    unsigned busyWorkers = 0;
+    bool stopping = false;
+
+    std::vector<std::thread> workers;
+
+    void
+    drainRange()
+    {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                (*excs)[i] = std::current_exception();
+            }
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(m);
+                wake.wait(lock, [&] {
+                    return stopping || generation != seen;
+                });
+                if (stopping)
+                    return;
+                seen = generation;
+            }
+            drainRange();
+            {
+                std::lock_guard<std::mutex> lock(m);
+                if (--busyWorkers == 0)
+                    done.notify_all();
+            }
+        }
+    }
+};
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads_(threads == 0 ? hardwareThreads() : threads)
+{
+    if (threads_ <= 1)
+        return;
+    pool_ = std::make_unique<Pool>();
+    pool_->workers.reserve(threads_ - 1);
+    for (unsigned t = 0; t + 1 < threads_; ++t)
+        pool_->workers.emplace_back([p = pool_.get()] {
+            p->workerLoop();
+        });
+}
+
+SweepRunner::~SweepRunner()
+{
+    if (!pool_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(pool_->m);
+        pool_->stopping = true;
+    }
+    pool_->wake.notify_all();
+    for (auto &w : pool_->workers)
+        w.join();
+}
+
+void
+SweepRunner::forEach(std::size_t n,
+                     const std::function<void(std::size_t)> &fn)
+{
+    if (!pool_) {
+        // The exact serial path: inline, in submission order, with
+        // exceptions propagating directly from the offending cell.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::vector<std::exception_ptr> excs(n);
+    {
+        std::lock_guard<std::mutex> lock(pool_->m);
+        pool_->fn = &fn;
+        pool_->n = n;
+        pool_->next.store(0, std::memory_order_relaxed);
+        pool_->excs = &excs;
+        pool_->busyWorkers =
+            static_cast<unsigned>(pool_->workers.size());
+        ++pool_->generation;
+    }
+    pool_->wake.notify_all();
+
+    // The caller is a worker too.
+    pool_->drainRange();
+
+    {
+        std::unique_lock<std::mutex> lock(pool_->m);
+        pool_->done.wait(lock, [&] { return pool_->busyWorkers == 0; });
+        pool_->fn = nullptr;
+        pool_->excs = nullptr;
+    }
+
+    // Rethrow the first failure in submission order, matching what a
+    // serial run would have surfaced first.
+    for (auto &e : excs)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+unsigned
+SweepRunner::defaultThreads()
+{
+    const char *env = std::getenv("PIMPHONY_THREADS");
+    if (!env || *env == '\0')
+        return 1;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') {
+        warn("PIMPHONY_THREADS='%s' is not a number; running serial",
+             env);
+        return 1;
+    }
+    if (v == 0)
+        return hardwareThreads();
+    return static_cast<unsigned>(v);
+}
+
+unsigned
+SweepRunner::hardwareThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace pimphony

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SweepRunner: a fixed-size thread pool for embarrassingly parallel
+ * configuration sweeps.
+ *
+ * The figure/table harnesses and the serving benches evaluate grids
+ * of independent configurations — each cell builds its own engine,
+ * allocator, and model instances and shares nothing mutable with its
+ * neighbours — so sweep wall-clock should scale with host cores, not
+ * grid size. SweepRunner executes fn(0..n-1) across a fixed set of
+ * worker threads and guarantees:
+ *
+ *  - Deterministic results: cell i's result lands in slot i, so the
+ *    caller emits rows in submission order regardless of completion
+ *    order. Simulated values are bit-identical to a serial run
+ *    because every cell derives its randomness from its own explicit
+ *    seed (pass the cell index into the seed when configs would
+ *    otherwise collide).
+ *  - An exact serial path: threads() == 1 runs every cell inline on
+ *    the calling thread, in submission order, with no pool threads
+ *    created and no exception wrapping — byte-for-byte the behavior
+ *    of the pre-runner loop.
+ *  - Per-cell exception capture: under a pool, a throwing cell does
+ *    not tear down the process or skip its siblings; after the sweep
+ *    drains, the first exception in *submission* order is rethrown.
+ *
+ * Thread count selection (see defaultThreads): an explicit
+ * constructor argument wins; 0 asks for one thread per hardware
+ * core; benches default to the PIMPHONY_THREADS environment
+ * variable and fall back to 1, so every existing invocation stays
+ * serial unless parallelism is requested.
+ */
+
+#ifndef PIMPHONY_COMMON_PARALLEL_HH
+#define PIMPHONY_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pimphony {
+
+class SweepRunner
+{
+  public:
+    /**
+     * @p threads concurrent cells; 0 resolves to hardwareThreads().
+     * Worker threads are started once (threads - 1 of them: the
+     * calling thread participates in every forEach) and reused
+     * across calls.
+     */
+    explicit SweepRunner(unsigned threads = 0);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    /** Resolved concurrency (>= 1). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run fn(i) for every i in [0, n). Blocks until all cells have
+     * completed. With threads() == 1 this is exactly the serial
+     * loop. Not reentrant: fn must not call back into the same
+     * runner.
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+    /**
+     * forEach that collects fn's return values into a vector in
+     * submission order (slot i = fn(i)); the result type must be
+     * default-constructible and movable.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn &&fn)
+        -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>>
+    {
+        using R = std::decay_t<decltype(fn(std::size_t{0}))>;
+        std::vector<R> out(n);
+        forEach(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /**
+     * Sweep concurrency when none is given explicitly: the
+     * PIMPHONY_THREADS environment variable (0 = all hardware
+     * threads), else 1 — serial, the historical behavior.
+     */
+    static unsigned defaultThreads();
+
+    /** std::thread::hardware_concurrency(), clamped to >= 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    struct Pool;
+
+    unsigned threads_ = 1;
+    std::unique_ptr<Pool> pool_; ///< null when threads_ == 1
+};
+
+} // namespace pimphony
+
+#endif // PIMPHONY_COMMON_PARALLEL_HH

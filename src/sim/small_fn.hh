@@ -9,14 +9,20 @@
  * inline storage sized for the core's callbacks (a device pointer,
  * an event-queue pointer, and a few scalars or one shared_ptr). A
  * callable that does not fit falls back to the heap and bumps a
- * process-wide counter, so tests can assert that the steady-state
- * decode path never allocates callback storage
- * (tests/sim_core_test.cc).
+ * counter, so tests can assert that the steady-state decode path
+ * never allocates callback storage (tests/sim_core_test.cc).
+ *
+ * The fallback counter is thread-local: each engine instance runs on
+ * one thread, so a zero-growth assertion around a run stays
+ * meaningful while the sweep runner (common/parallel) executes other
+ * configs concurrently on sibling threads. smallFnHeapAllocsTotal()
+ * aggregates across all threads for process-wide accounting.
  */
 
 #ifndef PIMPHONY_SIM_SMALL_FN_HH
 #define PIMPHONY_SIM_SMALL_FN_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -28,18 +34,35 @@ namespace pimphony {
 namespace sim {
 
 namespace detail {
-inline std::uint64_t small_fn_heap_allocs = 0;
+inline thread_local std::uint64_t small_fn_heap_allocs = 0;
+inline std::atomic<std::uint64_t> small_fn_heap_allocs_total{0};
+
+inline void
+countHeapAlloc()
+{
+    ++small_fn_heap_allocs;
+    small_fn_heap_allocs_total.fetch_add(1, std::memory_order_relaxed);
 }
+} // namespace detail
 
 /**
- * Heap fallbacks taken by SmallFn since process start (test hook:
- * the hot-path tests snapshot this around a run and assert zero
- * growth).
+ * Heap fallbacks taken by SmallFn on the *calling thread* since it
+ * started (test hook: the hot-path tests snapshot this around a run
+ * and assert zero growth; concurrent engine runs on other threads
+ * cannot perturb the delta).
  */
 inline std::uint64_t
 smallFnHeapAllocs()
 {
     return detail::small_fn_heap_allocs;
+}
+
+/** Heap fallbacks across all threads since process start. */
+inline std::uint64_t
+smallFnHeapAllocsTotal()
+{
+    return detail::small_fn_heap_allocs_total.load(
+        std::memory_order_relaxed);
 }
 
 /**
@@ -149,7 +172,7 @@ class SmallFn
             };
             ops_ = &ops;
         } else {
-            ++detail::small_fn_heap_allocs;
+            detail::countHeapAlloc();
             ::new (static_cast<void *>(&buf_))
                 Fn *(new Fn(std::forward<F>(f)));
             static const Ops ops = {

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/stats.hh"
@@ -126,6 +127,37 @@ TEST(SmallFn, InlineCallbacksNeverTouchTheHeap)
     e(0.0);
     EXPECT_EQ(hits, 17);
     EXPECT_EQ(sim::smallFnHeapAllocs(), before + 1);
+}
+
+TEST(SmallFn, HeapAllocCounterIsPerThread)
+{
+    // The zero-alloc assertions above key on the calling thread's
+    // counter staying flat; a sweep-runner worker heap-allocating on
+    // another thread must not perturb it. The aggregate counter
+    // still observes every thread's fallbacks.
+    std::uint64_t local_before = sim::smallFnHeapAllocs();
+    std::uint64_t total_before = sim::smallFnHeapAllocsTotal();
+
+    std::thread worker([]() {
+        struct Huge
+        {
+            double pad[16];
+        };
+        Huge huge{};
+        huge.pad[0] = 2.0;
+        int sink = 0;
+        sim::SimFn f([huge, &sink](double) {
+            sink += static_cast<int>(huge.pad[0]);
+        });
+        f(0.0);
+        EXPECT_EQ(sink, 2);
+        // The worker's own thread-local counter saw the fallback.
+        EXPECT_GE(sim::smallFnHeapAllocs(), 1u);
+    });
+    worker.join();
+
+    EXPECT_EQ(sim::smallFnHeapAllocs(), local_before);
+    EXPECT_GE(sim::smallFnHeapAllocsTotal(), total_before + 1);
 }
 
 TEST(SmallFn, DecodePathIsCallbackAllocationFree)
