@@ -58,6 +58,7 @@
 #include "bench_util.hh"
 #include "kernels/kernel_sim.hh"
 #include "system/engine.hh"
+#include "system/fleet.hh"
 #include "system/sched_policy.hh"
 #include "workload/arrival.hh"
 
@@ -116,6 +117,66 @@ runServingConfig(const ServingConfig &cfg, int reps, double &best_wall)
     for (int i = 0; i < reps; ++i) {
         auto t0 = std::chrono::steady_clock::now();
         r = ServingEngine(cluster, model, timed, opts).run();
+        auto t1 = std::chrono::steady_clock::now();
+        double wall = std::chrono::duration<double>(t1 - t0).count();
+        if (best_wall == 0.0 || wall < best_wall)
+            best_wall = wall;
+    }
+    return r;
+}
+
+// --- Fleet rows (multi-replica windowed advance). --------------------
+
+struct FleetRowConfig
+{
+    unsigned replicas;
+    RoutePolicy policy;
+};
+
+std::string
+fleetConfigName(const FleetRowConfig &cfg)
+{
+    return "fleet.r" + std::to_string(cfg.replicas) +
+           (cfg.policy == RoutePolicy::RoundRobin ? ".rr"
+                                                  : ".least-loaded");
+}
+
+/**
+ * One timed fleet run. The fleet's internal window advance is pinned
+ * serial (FleetOptions::threads = 1) so the row tracks the event
+ * core + window protocol cost itself, comparable across hosts the
+ * way the engine rows are; bench_fleet owns the scaling story.
+ */
+EngineResult
+runFleetConfig(const FleetRowConfig &cfg, int reps, double &best_wall)
+{
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::neupimsLike(model);
+    cluster.plan = ParallelPlan{cluster.nModules / 4, 4};
+    applyOptions(cluster, PimphonyOptions::all());
+
+    std::size_t n = static_cast<std::size_t>(cfg.replicas) * 32;
+    std::vector<Request> reqs;
+    for (RequestId i = 0; i < n; ++i)
+        reqs.push_back({i, (i % 4 == 0) ? Tokens(30000) : Tokens(2000),
+                        32});
+    auto trace = poissonArrivals(reqs, 24.0, 17);
+
+    FleetOptions fopts;
+    fopts.replicas = cfg.replicas;
+    fopts.policy = cfg.policy;
+    fopts.dispatchLatencySeconds = 0.002;
+    fopts.threads = 1;
+    fopts.engine.allocator = AllocatorKind::LazyChunk;
+    fopts.engine.stepModel = StepModel::EventDriven;
+    fopts.engine.prefillChunkTokens = 2048;
+
+    (void)FleetEngine(cluster, model, trace, fopts).run();
+    EngineResult r;
+    best_wall = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        r = FleetEngine(cluster, model, trace, fopts).run().aggregate;
         auto t1 = std::chrono::steady_clock::now();
         double wall = std::chrono::duration<double>(t1 - t0).count();
         if (best_wall == 0.0 || wall < best_wall)
@@ -209,6 +270,57 @@ servingScale(const bench::BenchArgs &args)
                        cells[i].wallSeconds * 1e3);
         }
     }
+    // Fleet rows ride the same sweep machinery: multi-replica
+    // windowed advance, serial inside (see runFleetConfig), so the
+    // perf gate tracks the window protocol's own cost per commit.
+    std::vector<FleetRowConfig> fleet_configs = {
+        {4, RoutePolicy::RoundRobin},
+        {8, RoutePolicy::LeastLoaded},
+    };
+    auto fleet_cells = bench::runSweep(
+        args, fleet_configs.size(), [&](std::size_t i) {
+            ConfigRun run;
+            run.result =
+                runFleetConfig(fleet_configs[i], reps, run.bestWall);
+            return run;
+        });
+    for (std::size_t i = 0; i < fleet_configs.size(); ++i) {
+        const auto &cfg = fleet_configs[i];
+        const EngineResult &r = fleet_cells[i].value.result;
+        double wall = fleet_cells[i].value.bestWall;
+        double eps = wall > 0.0
+                         ? static_cast<double>(r.simEvents) / wall
+                         : 0.0;
+        t.addRow({fleetConfigName(cfg),
+                  std::to_string(static_cast<std::size_t>(cfg.replicas) *
+                                 32),
+                  std::to_string(r.simEvents),
+                  std::to_string(r.generatedTokens),
+                  TablePrinter::fmt(wall * 1e3, 2),
+                  TablePrinter::fmt(eps, 0),
+                  TablePrinter::fmt(r.tokensPerSecond, 1),
+                  TablePrinter::fmt(r.p95TokenGapSeconds * 1e3, 1)});
+        if (args.json) {
+            json.beginRow();
+            json.field("config", fleetConfigName(cfg));
+            json.field("replicas", cfg.replicas);
+            json.field("policy", routePolicyName(cfg.policy));
+            json.field("requests", static_cast<std::uint64_t>(
+                                       static_cast<std::size_t>(
+                                           cfg.replicas) *
+                                       32));
+            json.field("sim_events", r.simEvents);
+            json.field("generated_tokens", r.generatedTokens);
+            json.field("tokens_per_second", r.tokensPerSecond);
+            json.field("gap_p95_s", r.p95TokenGapSeconds);
+            json.field("wall_ms", wall * 1e3);
+            json.field("events_per_sec", eps);
+            json.field("threads", args.threads);
+            json.field("config_wall_ms",
+                       fleet_cells[i].wallSeconds * 1e3);
+        }
+    }
+
     t.print(std::cout);
     if (args.json) {
         if (json.writeFile(args.jsonPath))

@@ -11,6 +11,7 @@
 
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -203,9 +204,7 @@ class JsonRows
     void
     field(const char *key, double v)
     {
-        char buf[40];
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
-        addRaw(key, buf);
+        addRaw(key, formatNumber(v));
     }
 
     void
@@ -250,15 +249,61 @@ class JsonRows
         rows_.back().emplace_back(key, std::move(value));
     }
 
+    /**
+     * The one double formatter every JSON number goes through:
+     * %.17g round-trips any finite double exactly, the decimal
+     * point is forced to '.' even under a locale that prints ','
+     * (which would corrupt the document), and non-finite values —
+     * invalid JSON literals — degrade to null rather than emitting
+     * "inf"/"nan" tokens parsers reject.
+     */
+    static std::string
+    formatNumber(double v)
+    {
+        if (!std::isfinite(v))
+            return "null";
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        for (char *p = buf; *p; ++p)
+            if (*p == ',')
+                *p = '.';
+        return buf;
+    }
+
     static std::string
     escape(const std::string &s)
     {
         std::string out;
         out.reserve(s.size());
         for (char c : s) {
-            if (c == '"' || c == '\\')
-                out.push_back('\\');
-            out.push_back(c);
+            unsigned char u = static_cast<unsigned char>(c);
+            switch (c) {
+              case '"':
+                out += "\\\"";
+                break;
+              case '\\':
+                out += "\\\\";
+                break;
+              case '\n':
+                out += "\\n";
+                break;
+              case '\t':
+                out += "\\t";
+                break;
+              case '\r':
+                out += "\\r";
+                break;
+              default:
+                if (u < 0x20) {
+                    // Remaining control characters are illegal raw
+                    // inside JSON strings; \u-escape them.
+                    char b[8];
+                    std::snprintf(b, sizeof(b), "\\u%04x", u);
+                    out += b;
+                } else {
+                    out.push_back(c);
+                }
+            }
         }
         return out;
     }

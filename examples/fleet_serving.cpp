@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fleet serving: a cluster of replica serving engines behind a
+ * request router, simulated under conservative time-window
+ * synchronization (the router's dispatch latency is the lookahead).
+ *
+ * Part one scales the replica count at a fixed offered load and
+ * shows the fleet absorbing traffic one replica saturates on. Part
+ * two compares the routing policies on a skewed trace — round-robin
+ * alternates blindly while least-loaded steers long contexts away
+ * from busy replicas — and prints the per-replica routing histogram
+ * so the difference is visible, not just aggregate.
+ */
+
+#include <cstdio>
+
+#include "system/fleet.hh"
+#include "workload/arrival.hh"
+
+using namespace pimphony;
+
+namespace {
+
+std::vector<TimedRequest>
+makeTrace(std::size_t n, double ratePerSecond, unsigned seed)
+{
+    std::vector<Request> reqs;
+    for (RequestId i = 0; i < n; ++i) {
+        // Bimodal contexts: every fourth request is long-context.
+        Tokens context = (i % 4 == 0) ? 30000 : 2000;
+        reqs.push_back({i, context, 32});
+    }
+    return poissonArrivals(reqs, ratePerSecond, seed);
+}
+
+FleetResult
+runFleet(unsigned replicas, RoutePolicy policy,
+         const std::vector<TimedRequest> &trace)
+{
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::neupimsLike(model);
+    applyOptions(cluster, PimphonyOptions::all());
+
+    FleetOptions options;
+    options.replicas = replicas;
+    options.policy = policy;
+    options.dispatchLatencySeconds = 0.002; // 2 ms router hop
+    options.threads = 0;                    // fleet pool on all cores
+    options.engine.allocator = AllocatorKind::LazyChunk;
+    options.engine.stepModel = StepModel::EventDriven;
+    options.engine.prefillChunkTokens = 2048;
+
+    FleetEngine fleet(cluster, model, trace, options);
+    return fleet.run();
+}
+
+/** Replica scaling at fixed offered load. */
+void
+replicaScaling()
+{
+    auto trace = makeTrace(96, 24.0, 17);
+
+    std::printf("Fleet scaling, 96 requests at 24 req/s, "
+                "round-robin, 2 ms dispatch\n\n");
+    std::printf("%9s %10s %9s %12s %9s\n", "replicas", "tokens/s",
+                "makespan", "gap p95 (ms)", "windows");
+    for (unsigned replicas : {1u, 2u, 4u, 8u}) {
+        auto r = runFleet(replicas, RoutePolicy::RoundRobin, trace);
+        std::printf("%9u %10.1f %8.1fs %12.1f %9llu\n", replicas,
+                    r.aggregate.tokensPerSecond,
+                    r.aggregate.simulatedSeconds,
+                    r.aggregate.p95TokenGapSeconds * 1e3,
+                    static_cast<unsigned long long>(r.windows));
+    }
+    std::printf("\nOne replica queues the whole trace; replicas "
+                "split it at the router, so\nthe makespan collapses "
+                "toward the arrival span and the decode gap tail\n"
+                "relaxes. Each fleet run advances its replicas in "
+                "parallel.\n");
+}
+
+/** Routing policies on the same skewed trace. */
+void
+routingPolicies()
+{
+    auto trace = makeTrace(64, 24.0, 23);
+
+    std::printf("\nRouting policy, 4 replicas, bimodal contexts "
+                "(every 4th is 30k tokens)\n\n");
+    std::printf("%-14s %10s %12s   %s\n", "policy", "tokens/s",
+                "gap p95 (ms)", "routed per replica");
+    for (RoutePolicy policy :
+         {RoutePolicy::RoundRobin, RoutePolicy::LeastLoaded}) {
+        auto r = runFleet(4, policy, trace);
+        std::printf("%-14s %10.1f %12.1f   [",
+                    routePolicyName(policy).c_str(),
+                    r.aggregate.tokensPerSecond,
+                    r.aggregate.p95TokenGapSeconds * 1e3);
+        for (std::size_t i = 0; i < r.routedRequests.size(); ++i)
+            std::printf("%s%llu", i ? " " : "",
+                        static_cast<unsigned long long>(
+                            r.routedRequests[i]));
+        std::printf("]\n");
+    }
+    std::printf("\nRound-robin sends every 4th (long) request to the "
+                "same rotation slot;\nleast-loaded reads queued "
+                "tokens at each window barrier and routes around\n"
+                "replicas still chewing a 30k-token prefill.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    replicaScaling();
+    routingPolicies();
+    return 0;
+}

@@ -70,5 +70,12 @@ EventQueue::runAll()
     }
 }
 
+void
+EventQueue::runUntil(double horizon)
+{
+    while (!heap_.empty() && heap_.front().time <= horizon)
+        runOne();
+}
+
 } // namespace sim
 } // namespace pimphony

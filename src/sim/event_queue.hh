@@ -61,6 +61,18 @@ class EventQueue
     /** Dispatch events until the queue drains. */
     void runAll();
 
+    /**
+     * Dispatch every event scheduled at or before @p horizon
+     * (inclusive), in the same (time, seq) order runAll() would use,
+     * and stop with later events still pending. Interleaving
+     * runUntil() calls with increasing horizons dispatches exactly
+     * the runAll() sequence — the property the fleet simulation's
+     * conservative time windows rely on. now() stays at the last
+     * dispatched event (not @p horizon), so a later schedule()
+     * between windows is never clamped forward.
+     */
+    void runUntil(double horizon);
+
   private:
     struct Event
     {

@@ -25,6 +25,70 @@ stepModelName(StepModel model)
     return "?";
 }
 
+/** One in-flight decode cohort (micro-batch) of the event core. */
+struct ServingEngine::EventCohort
+{
+    std::uint32_t id = 0;
+    std::uint64_t cycle = 0;
+    std::vector<Active> members;
+};
+
+/**
+ * State of one prepared event-driven run: the former runEventDriven
+ * locals, hoisted to the heap so the run survives between advanceTo
+ * calls. Field names and roles are unchanged from the run-local
+ * originals; the ev* member functions are the former lambdas.
+ */
+struct ServingEngine::EventRun
+{
+    sim::EventQueue queue;
+    std::unique_ptr<SchedPolicy> policy;
+    std::unique_ptr<StageDeviceSet> stages;
+
+    unsigned pp = 1;
+    unsigned tp = 1;
+    double spc = 0.0;
+    bool chunked = false;
+
+    ChannelAccum acc;
+    double batchTime = 0.0;
+    double capacityTime = 0.0;
+    double lastAccount = 0.0;
+    double endTime = 0.0;
+
+    std::list<EventCohort> cohorts; // list keeps addresses stable
+    std::deque<TimedRequest> arrived;
+    std::vector<Active> readyPool; // admitted, waiting for a cohort
+    std::vector<sim::WorkItem> cycleItems;
+    std::vector<std::vector<sim::WorkItem>> seqScratch;
+    std::uint64_t prefilling = 0; // admitted, chunks in flight
+
+    /** Context + decode tokens of the prefilling requests (the
+     *  queuedTokens share submitSequence holders hide). */
+    double prefillingTokens = 0.0;
+
+    std::uint32_t nextCohortId = 0;
+    std::uint64_t cycles = 0;
+    bool capped = false;
+
+    /** Scalar-prefill serialization clock (chargePrefill). */
+    double prefillReady = 0.0;
+
+    /** Not-yet-arrived requests, nondecreasing arrival order. */
+    std::deque<TimedRequest> future;
+
+    /** An arrival event is scheduled (at arrivalArmedAt). */
+    bool arrivalArmed = false;
+    double arrivalArmedAt = 0.0;
+
+    /** Hoisted per-admission-scan tier in-flight flags. */
+    std::set<unsigned> scanTiersInFlight;
+
+    bool finalized = false;
+};
+
+ServingEngine::~ServingEngine() = default;
+
 ServingEngine::ServingEngine(const ClusterConfig &cluster,
                              const LlmConfig &model,
                              std::vector<Request> requests,
@@ -594,25 +658,443 @@ ServingEngine::runAnalytic()
     return result_;
 }
 
-EngineResult
-ServingEngine::runEventDriven()
+void
+ServingEngine::evAccountTo(double t)
 {
-    const unsigned pp = cluster_.plan.pp;
-    const unsigned tp = cluster_.plan.tp;
-    const double spc = cluster_.module.timing.secondsPerCycle();
-    const bool chunked = options_.prefillChunkTokens > 0;
+    EventRun &ev = *ev_;
+    if (t <= ev.lastAccount)
+        return;
+    double dt = t - ev.lastAccount;
+    // Effective batch counts decoding requests only; pooled requests
+    // hold memory but are not batched on any device.
+    ev.batchTime += dt * static_cast<double>(evInFlightCount());
+    ev.capacityTime += dt * allocator_->capacityUtilization();
+    integrateTenantShares(dt);
+    ev.lastAccount = t;
+    ev.endTime = std::max(ev.endTime, t);
+}
 
-    sim::EventQueue queue;
+std::size_t
+ServingEngine::evInFlightCount() const
+{
+    std::size_t n = 0;
+    for (const auto &c : ev_->cohorts)
+        n += c.members.size();
+    return n;
+}
+
+void
+ServingEngine::evSortReadyPoolByTier()
+{
+    // Tier-segregated refills: order the pool by tier (stable, so
+    // survivors keep precedence inside a tier) and the next take
+    // forms the most tier-pure cohort the pool allows — higher
+    // tiers decode in cohorts the tier-aware arbiters can favor.
+    if (!classesActive_)
+        return;
+    std::stable_sort(ev_->readyPool.begin(), ev_->readyPool.end(),
+                     [](const Active &a, const Active &b) {
+                         return a.request.cls.tier < b.request.cls.tier;
+                     });
+}
+
+double
+ServingEngine::evRecentGapP95() const
+{
+    // SLO feedback: nearest-rank p95 over the most recent window of
+    // decode token gaps — the signal the SloAdmission gate steers
+    // on, streamed in O(log W) per gap by the windowed quantile.
+    return gapWindow_ ? gapWindow_->value() : 0.0;
+}
+
+std::size_t
+ServingEngine::evGapSamples() const
+{
+    return gapWindow_ ? gapWindow_->size() : 0;
+}
+
+void
+ServingEngine::evRefreshTiersInFlight()
+{
+    ev_->scanTiersInFlight.clear();
+    for (const auto &c : ev_->cohorts)
+        for (const auto &m : c.members)
+            ev_->scanTiersInFlight.insert(m.request.cls.tier);
+}
+
+bool
+ServingEngine::evClassGateDefers(const RequestClass &cls)
+{
+    // A prefill of tier T defers while any tier T' <= T (equal or
+    // higher priority) exceeds its own target on its own window, so
+    // admitting lower-priority work can never break a higher tier's
+    // SLO, while a high-priority prefill is not held hostage by a
+    // struggling lower tier. A tier's gate may only bind while its
+    // own gaps can still be produced (decode in flight), or a stale
+    // window would deadlock that tier's admissions.
+    EventRun &ev = *ev_;
+    if (!ev.policy->needsGapSignal())
+        return !ev.policy->admitPrefill(0.0, 0, evInFlightCount() > 0);
+    // Budgets configured but every request default-class: there
+    // are no per-tier windows, so the gate reads the global one
+    // exactly as the single-class path does.
+    if (tiers_.empty())
+        return !ev.policy->admitPrefill(evRecentGapP95(), evGapSamples(),
+                                        evInFlightCount() > 0);
+    for (auto &kv : tiers_) {
+        if (kv.first > cls.tier)
+            break; // ascending map: only tiers <= T guard T
+        const TierState &ts = kv.second;
+        if (!ts.window)
+            continue;
+        if (!ev.policy->admitPrefillAt(
+                ts.window->value(), ts.window->size(),
+                ev.scanTiersInFlight.count(kv.first) > 0, ts.target))
+            return true;
+    }
+    return false;
+}
+
+void
+ServingEngine::evStartPrefill(Active a, double now)
+{
+    // Chunked prefill: the admitted request enters a Prefilling
+    // state (memory held, not decoding) while its chunks traverse
+    // the per-stage xPU timelines; it joins the decode ready pool at
+    // the last chunk's last-stage completion. Per-chunk seconds
+    // apportion the scalar charge tryAdmitOne already accounted, so
+    // chunked and scalar prefill cost the same total device time.
+    EventRun &ev = *ev_;
+    auto chunk_secs = prefillChunkSeconds(
+        model_, a.request.contextTokens, options_.prefillChunkTokens,
+        cluster_.xpu, cluster_.prefillEngines());
+    if (chunk_secs.empty()) {
+        ev.readyPool.push_back(std::move(a));
+        return;
+    }
+    // prefillSeconds() spreads the work over prefillEngines();
+    // a stage owns tp of them for stageLayers/nLayers of the
+    // model, so scale per-stage occupancy to keep each request's
+    // per-stage total at scalar * engines / (tp * pp-equivalent).
+    double engine_scale =
+        static_cast<double>(cluster_.prefillEngines()) / ev.tp;
+    double layers_total = stageLayersTotal(model_.nLayers, ev.pp);
+    ev.seqScratch.resize(chunk_secs.size());
+    for (std::size_t k = 0; k < chunk_secs.size(); ++k) {
+        std::vector<sim::WorkItem> &row = ev.seqScratch[k];
+        row.assign(ev.pp, sim::WorkItem{});
+        for (unsigned s = 0; s < ev.pp; ++s) {
+            row[s].kind = sim::WorkItem::Kind::PrefillChunk;
+            row[s].request = a.request.id;
+            row[s].chunk = static_cast<std::uint32_t>(k);
+            row[s].tier = a.request.cls.tier;
+            row[s].seconds = chunk_secs[k] * engine_scale *
+                             stageLayers(model_.nLayers, ev.pp, s) /
+                             layers_total;
+        }
+    }
+    ++ev.prefilling;
+    double holder_tokens = static_cast<double>(
+        a.request.contextTokens + a.request.decodeTokens);
+    ev.prefillingTokens += holder_tokens;
+    auto holder = std::make_shared<Active>(std::move(a));
+    ev.stages->pipeline().submitSequence(
+        ev.queue, ev.seqScratch, now,
+        [this, holder, holder_tokens](double t) {
+            --ev_->prefilling;
+            ev_->prefillingTokens -= holder_tokens;
+            evAccountTo(t);
+            ev_->readyPool.push_back(std::move(*holder));
+            evFormNewCohorts(t);
+        });
+}
+
+void
+ServingEngine::evAdmitArrivals(double now)
+{
+    // Admission under the same per-request rules as the analytic
+    // path (tryAdmitOne); admitted requests reach the ready pool
+    // once decode-ready (immediately, or after prefill chunks). The
+    // policy's admission gate runs first: a deferred prefill blocks
+    // the (FIFO) admission queue until the SLO signal recovers,
+    // re-checked at every cycle completion.
+    EventRun &ev = *ev_;
+    if (!classesActive_ && !budgetsActive_) {
+        // Single-class path: plain FIFO admission, bit-identical
+        // to the pre-tier engine.
+        while (!ev.arrived.empty()) {
+            if (ev.chunked &&
+                ev.arrived.front().request.contextTokens > 0 &&
+                !ev.policy->admitPrefill(
+                    ev.policy->needsGapSignal() ? evRecentGapP95() : 0.0,
+                    evGapSamples(), evInFlightCount() > 0)) {
+                ++result_.sloDeferrals;
+                break;
+            }
+            TimedRequest timed = ev.arrived.front();
+            double prefill_sec = 0.0;
+            AdmitOutcome outcome = tryAdmitOne(timed, prefill_sec);
+            if (outcome == AdmitOutcome::Blocked)
+                break;
+            ev.arrived.pop_front();
+            if (outcome != AdmitOutcome::Admitted)
+                continue;
+            Active a{timed.request, 0, timed.arrivalSeconds, -1.0};
+            if (ev.chunked) {
+                evStartPrefill(std::move(a), now);
+            } else {
+                ev.prefillReady =
+                    std::max(ev.prefillReady, now) + prefill_sec;
+                ev.readyPool.push_back(std::move(a));
+            }
+        }
+        return;
+    }
+    // Class/tenant-aware admission: the queue is scanned rather
+    // than strictly FIFO, so a gated tier or an over-budget
+    // tenant cannot head-of-line block the other classes. FIFO
+    // order is kept inside each (class, tenant) population; a
+    // memory block still halts the scan (only releases clear
+    // it).
+    if (classesActive_ && ev.policy->needsGapSignal())
+        evRefreshTiersInFlight();
+    std::set<unsigned> entitled = entitledTenantsWaiting(ev.arrived, now);
+    bool gate_deferred = false;
+    for (std::size_t i = 0; i < ev.arrived.size();) {
+        const TimedRequest &timed = ev.arrived[i];
+        if (ev.chunked && timed.request.contextTokens > 0 &&
+            evClassGateDefers(timed.request.cls)) {
+            // Count at most one deferral per admission check, as
+            // the single-class path does, so the metric stays
+            // comparable across the two paths.
+            if (!gate_deferred) {
+                ++result_.sloDeferrals;
+                gate_deferred = true;
+            }
+            ++i;
+            continue;
+        }
+        bool allow_borrow =
+            !budgetsActive_ ||
+            !entitledElsewhere(entitled, timed.request.cls.tenant);
+        double prefill_sec = 0.0;
+        AdmitOutcome outcome =
+            tryAdmitOne(timed, prefill_sec, allow_borrow);
+        if (outcome == AdmitOutcome::Blocked)
+            break;
+        if (outcome == AdmitOutcome::BudgetBlocked) {
+            ++i;
+            continue;
+        }
+        TimedRequest taken = timed;
+        ev.arrived.erase(ev.arrived.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        if (outcome != AdmitOutcome::Admitted)
+            continue; // Rejected: already counted
+        Active a{taken.request, 0, taken.arrivalSeconds, -1.0};
+        if (ev.chunked) {
+            evStartPrefill(std::move(a), now);
+        } else {
+            ev.prefillReady =
+                std::max(ev.prefillReady, now) + prefill_sec;
+            ev.readyPool.push_back(std::move(a));
+        }
+    }
+}
+
+void
+ServingEngine::evStartCycle(EventCohort &c, double ready)
+{
+    EventRun &ev = *ev_;
+    CyclePlan plan = planCohortCycle(
+        c.members.data(), c.members.data() + c.members.size());
+    double span_cycles = plan.layerSeconds * plan.layersTotal / ev.spc *
+                         cluster_.module.nChannels * ev.tp;
+    accountCycle(plan, span_cycles, ev.acc);
+
+    // A cohort's decode items carry the best (lowest) tier of
+    // its members, so a mixed cohort is arbitrated at the
+    // priority of its most latency-sensitive member.
+    std::uint32_t cohort_tier = 0;
+    if (classesActive_ && !c.members.empty()) {
+        cohort_tier = c.members.front().request.cls.tier;
+        for (const Active &m : c.members)
+            cohort_tier = std::min(cohort_tier, m.request.cls.tier);
+    }
+
+    ev.cycleItems.assign(ev.pp, sim::WorkItem{});
+    for (unsigned s = 0; s < ev.pp; ++s) {
+        unsigned layers = stageLayers(model_.nLayers, ev.pp, s);
+        ev.cycleItems[s].cohort = c.id;
+        ev.cycleItems[s].cycle = c.cycle;
+        ev.cycleItems[s].tier = cohort_tier;
+        ev.cycleItems[s].seconds = plan.layerSeconds * layers;
+        ev.cycleItems[s].fcSeconds = plan.fcLayerSeconds * layers;
+    }
+    ++c.cycle;
+    EventCohort *cohort = &c;
+    ev.stages->pipeline().submitChain(
+        ev.queue, ev.cycleItems, ready, [this, cohort](double t) {
+            evOnCycleComplete(*cohort, t);
+        });
+}
+
+void
+ServingEngine::evOnCycleComplete(EventCohort &c, double t)
+{
+    EventRun &ev = *ev_;
+    evAccountTo(t);
+
+    // Advance every cohort member by one token, compacting the
+    // survivors in place (order preserved, no allocation).
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < c.members.size(); ++i) {
+        if (advanceMember(c.members[i], t, ev.arrived)) {
+            if (keep != i)
+                c.members[keep] = std::move(c.members[i]);
+            ++keep;
+        }
+    }
+    c.members.resize(keep);
+
+    ++ev.cycles;
+    if (ev.cycles >= options_.maxSteps)
+        ev.capped = true;
+
+    // Continuous batching with balanced cohorts: survivors and
+    // admissible pending requests meet in the ready pool
+    // (survivors first, so mid-decode requests keep priority),
+    // and the cohort refills up to a fair share of the active
+    // set. The cap keeps cohorts balanced the way the analytic
+    // model's per-step re-split does, while leaving the other
+    // cohorts' in-flight cycles untouched.
+    if (!ev.capped) {
+        evAdmitArrivals(t);
+        ev.readyPool.insert(ev.readyPool.begin(),
+                            std::make_move_iterator(c.members.begin()),
+                            std::make_move_iterator(c.members.end()));
+        c.members.clear();
+        evSortReadyPoolByTier();
+        std::size_t others = evInFlightCount();
+        std::size_t total = others + ev.readyPool.size();
+        std::size_t target =
+            std::max<std::size_t>(1, ceilDiv<std::size_t>(total, ev.pp));
+        std::size_t take =
+            std::min<std::size_t>(target, ev.readyPool.size());
+        if (take > 0) {
+            c.members.assign(
+                std::make_move_iterator(ev.readyPool.begin()),
+                std::make_move_iterator(ev.readyPool.begin() + take));
+            ev.readyPool.erase(ev.readyPool.begin(),
+                               ev.readyPool.begin() + take);
+        }
+    }
+    if (!c.members.empty() && !ev.capped) {
+        evStartCycle(c, std::max(t, ev.prefillReady));
+    } else {
+        EventCohort *self = &c;
+        ev.cohorts.remove_if(
+            [self](const EventCohort &x) { return &x == self; });
+    }
+    evFormNewCohorts(t);
+}
+
+void
+ServingEngine::evFormNewCohorts(double t)
+{
+    EventRun &ev = *ev_;
+    for (;;) {
+        if (ev.capped)
+            return;
+        if (ev.cohorts.size() >= ev.pp)
+            return; // pipeline slots full; rebalance at cycle ends
+        evAdmitArrivals(t);
+        if (ev.readyPool.empty()) {
+            // Deadlock guard: nothing in flight (decoding or
+            // prefilling), nothing admissible, and no event can
+            // change that -> the front request can never be
+            // served; reject it.
+            if (ev.cohorts.empty() && ev.prefilling == 0 &&
+                ev.queue.empty() && !ev.arrived.empty()) {
+                ++result_.rejectedRequests;
+                ev.arrived.pop_front();
+                continue;
+            }
+            return;
+        }
+        evSortReadyPoolByTier();
+        std::size_t total = evInFlightCount() + ev.readyPool.size();
+        std::size_t target =
+            std::max<std::size_t>(1, ceilDiv<std::size_t>(total, ev.pp));
+        std::size_t take =
+            std::min<std::size_t>(target, ev.readyPool.size());
+        ev.cohorts.push_back(EventCohort{
+            ev.nextCohortId++, 0,
+            {std::make_move_iterator(ev.readyPool.begin()),
+             std::make_move_iterator(ev.readyPool.begin() + take)}});
+        ev.readyPool.erase(ev.readyPool.begin(),
+                           ev.readyPool.begin() + take);
+        evStartCycle(ev.cohorts.back(), std::max(t, ev.prefillReady));
+    }
+}
+
+void
+ServingEngine::evOnArrival(double t)
+{
+    EventRun &ev = *ev_;
+    ev.arrivalArmed = false;
+    evAccountTo(t);
+    while (!ev.future.empty() && ev.future.front().arrivalSeconds <= t) {
+        ev.arrived.push_back(ev.future.front());
+        ev.future.pop_front();
+    }
+    evArmArrivalEvent();
+    evFormNewCohorts(t);
+}
+
+void
+ServingEngine::evArmArrivalEvent()
+{
+    // Only the head arrival is scheduled — each arrival event chains
+    // the next one, so the event heap stays O(1) in the trace
+    // length. injectArrivals re-arms when it delivers an arrival
+    // earlier than the armed one.
+    EventRun &ev = *ev_;
+    if (ev.future.empty())
+        return;
+    double at = ev.future.front().arrivalSeconds;
+    if (ev.arrivalArmed && ev.arrivalArmedAt <= at)
+        return;
+    ev.queue.schedule(at, [this](double t) { evOnArrival(t); });
+    ev.arrivalArmed = true;
+    ev.arrivalArmedAt = at;
+}
+
+void
+ServingEngine::prepare()
+{
+    if (options_.stepModel != StepModel::EventDriven)
+        fatal("ServingEngine::prepare(): the resumable interface "
+              "requires the event-driven step model");
+    if (ev_)
+        fatal("ServingEngine::prepare() called twice");
+    ev_ = std::make_unique<EventRun>();
+    EventRun &ev = *ev_;
+    ev.pp = cluster_.plan.pp;
+    ev.tp = cluster_.plan.tp;
+    ev.spc = cluster_.module.timing.secondsPerCycle();
+    ev.chunked = options_.prefillChunkTokens > 0;
+
     // Co-scheduling policy: arbitration of the xPU timelines (FIFO
     // policies keep the plain reservation arithmetic) plus the
-    // SLO admission gate consulted below.
-    std::unique_ptr<SchedPolicy> policy = makeSchedPolicy(options_.sched);
+    // SLO admission gate consulted by evAdmitArrivals.
+    ev.policy = makeSchedPolicy(options_.sched);
     // Policies steering on the gap signal read a streaming windowed
     // p95 (fed by advanceMember) instead of copying and sorting the
     // window every decode cycle. With request classes attached the
     // gate is per tier: each tier gets its own window, judged
     // against its own target (advanceMember routes gaps by tier).
-    if (policy->needsGapSignal() && options_.sched.sloWindow > 0) {
+    if (ev.policy->needsGapSignal() && options_.sched.sloWindow > 0) {
         if (classesActive_) {
             for (auto &kv : tiers_)
                 kv.second.window = std::make_unique<WindowedQuantile>(
@@ -625,444 +1107,186 @@ ServingEngine::runEventDriven()
     // Every stage carries an xPU timeline: in XpuPim mode it serves
     // decode FC shares and prefill chunks; in PimOnly mode only the
     // prefill chunks (the PNM compute engines) land there.
-    StageDeviceSet stages(pp, *module_, xpu_.get(),
-                          policy->reordersXpu() ? policy.get()
-                                                : nullptr);
-
-    struct Cohort
-    {
-        std::uint32_t id = 0;
-        std::uint64_t cycle = 0;
-        std::vector<Active> members;
-    };
-
-    ChannelAccum acc;
-    double batch_time = 0.0;
-    double capacity_time = 0.0;
-    double last_account = 0.0;
-    double end_time = 0.0;
-
-    std::list<Cohort> cohorts; // in flight; list keeps addresses stable
-    std::deque<TimedRequest> arrived;
-    std::vector<Active> ready_pool; // admitted, waiting for a cohort
-    ready_pool.reserve(pending_.size());
-    // Per-cycle scratch reused across every startCycle/startPrefill
-    // call (the submit APIs copy into pooled storage).
-    std::vector<sim::WorkItem> cycle_items;
-    std::vector<std::vector<sim::WorkItem>> seq_scratch;
-    std::uint64_t prefilling = 0;   // admitted, prefill chunks in flight
-    std::uint32_t next_cohort_id = 0;
-    std::uint64_t cycles = 0;
-    bool capped = false;
-
-    auto inFlightCount = [&cohorts]() {
-        std::size_t n = 0;
-        for (const auto &c : cohorts)
-            n += c.members.size();
-        return n;
-    };
-    // Effective batch counts decoding requests only; pooled requests
-    // hold memory but are not batched on any device.
-    auto activeCount = [&]() {
-        return static_cast<double>(inFlightCount());
-    };
-
-    // Integrate the batch/capacity time-averages up to t with the
-    // state held over [last_account, t).
-    auto accountTo = [&](double t) {
-        if (t <= last_account)
-            return;
-        double dt = t - last_account;
-        batch_time += dt * activeCount();
-        capacity_time += dt * allocator_->capacityUtilization();
-        integrateTenantShares(dt);
-        last_account = t;
-        end_time = std::max(end_time, t);
-    };
-
-    // When prefill is charged as a scalar (chargePrefill without
-    // chunking), admissions serialize behind this clock and cohorts
-    // start no earlier than it — the event-path analogue of the
-    // analytic path bumping the global clock.
-    double prefill_ready = 0.0;
-
-    std::function<void(Cohort &, double)> startCycle;
-    std::function<void(Cohort &, double)> onCycleComplete;
-    std::function<void(double)> formNewCohorts;
-    std::function<void(Active, double)> startPrefill;
-
-    // Tier-segregated refills: order the pool by tier (stable, so
-    // survivors keep precedence inside a tier) and the next take
-    // forms the most tier-pure cohort the pool allows — higher
-    // tiers decode in cohorts the tier-aware arbiters can favor.
-    auto sortReadyPoolByTier = [&]() {
-        if (!classesActive_)
-            return;
-        std::stable_sort(ready_pool.begin(), ready_pool.end(),
-                         [](const Active &a, const Active &b) {
-                             return a.request.cls.tier <
-                                    b.request.cls.tier;
-                         });
-    };
-
-    // Chunked prefill: the admitted request enters a Prefilling
-    // state (memory held, not decoding) while its chunks traverse
-    // the per-stage xPU timelines; it joins the decode ready pool at
-    // the last chunk's last-stage completion. Per-chunk seconds
-    // apportion the scalar charge tryAdmitOne already accounted, so
-    // chunked and scalar prefill cost the same total device time.
-    startPrefill = [&](Active a, double now) {
-        auto chunk_secs = prefillChunkSeconds(
-            model_, a.request.contextTokens, options_.prefillChunkTokens,
-            cluster_.xpu, cluster_.prefillEngines());
-        if (chunk_secs.empty()) {
-            ready_pool.push_back(std::move(a));
-            return;
-        }
-        // prefillSeconds() spreads the work over prefillEngines();
-        // a stage owns tp of them for stageLayers/nLayers of the
-        // model, so scale per-stage occupancy to keep each request's
-        // per-stage total at scalar * engines / (tp * pp-equivalent).
-        double engine_scale =
-            static_cast<double>(cluster_.prefillEngines()) / tp;
-        double layers_total = stageLayersTotal(model_.nLayers, pp);
-        seq_scratch.resize(chunk_secs.size());
-        for (std::size_t k = 0; k < chunk_secs.size(); ++k) {
-            std::vector<sim::WorkItem> &row = seq_scratch[k];
-            row.assign(pp, sim::WorkItem{});
-            for (unsigned s = 0; s < pp; ++s) {
-                row[s].kind = sim::WorkItem::Kind::PrefillChunk;
-                row[s].request = a.request.id;
-                row[s].chunk = static_cast<std::uint32_t>(k);
-                row[s].tier = a.request.cls.tier;
-                row[s].seconds = chunk_secs[k] * engine_scale *
-                                 stageLayers(model_.nLayers, pp, s) /
-                                 layers_total;
-            }
-        }
-        ++prefilling;
-        auto holder = std::make_shared<Active>(std::move(a));
-        stages.pipeline().submitSequence(
-            queue, seq_scratch, now, [&, holder](double t) {
-                --prefilling;
-                accountTo(t);
-                ready_pool.push_back(std::move(*holder));
-                formNewCohorts(t);
-            });
-    };
-
-    // SLO feedback: nearest-rank p95 over the most recent window of
-    // decode token gaps — the signal the SloAdmission gate steers
-    // on. The windowed quantile streams the same value in O(log W)
-    // per gap instead of copy+sort per admission check.
-    auto recentGapP95 = [&]() {
-        return gapWindow_ ? gapWindow_->value() : 0.0;
-    };
-    auto gapSamples = [&]() -> std::size_t {
-        return gapWindow_ ? gapWindow_->size() : 0;
-    };
-
-    // Per-class gate inputs: whether a tier has decode work in
-    // flight (a tier's gate may only bind while its own gaps can
-    // still be produced, or a stale window would deadlock that
-    // tier's admissions), and the per-class gate itself — a prefill
-    // of tier T defers while any tier T' <= T (equal or higher
-    // priority) exceeds its own target on its own window, so
-    // admitting lower-priority work can never break a higher tier's
-    // SLO, while a high-priority prefill is not held hostage by a
-    // struggling lower tier. The in-flight flags are hoisted per
-    // admission scan (cohort membership cannot change mid-scan).
-    std::set<unsigned> scanTiersInFlight;
-    auto refreshTiersInFlight = [&]() {
-        scanTiersInFlight.clear();
-        for (const auto &c : cohorts)
-            for (const auto &m : c.members)
-                scanTiersInFlight.insert(m.request.cls.tier);
-    };
-    auto tierDecodeInFlight = [&](unsigned tier) {
-        return scanTiersInFlight.count(tier) > 0;
-    };
-    auto classGateDefers = [&](const RequestClass &cls) {
-        if (!policy->needsGapSignal())
-            return !policy->admitPrefill(0.0, 0, inFlightCount() > 0);
-        // Budgets configured but every request default-class: there
-        // are no per-tier windows, so the gate reads the global one
-        // exactly as the single-class path does.
-        if (tiers_.empty())
-            return !policy->admitPrefill(recentGapP95(), gapSamples(),
-                                         inFlightCount() > 0);
-        for (auto &kv : tiers_) {
-            if (kv.first > cls.tier)
-                break; // ascending map: only tiers <= T guard T
-            const TierState &ts = kv.second;
-            if (!ts.window)
-                continue;
-            if (!policy->admitPrefillAt(ts.window->value(),
-                                        ts.window->size(),
-                                        tierDecodeInFlight(kv.first),
-                                        ts.target))
-                return true;
-        }
-        return false;
-    };
-
-    // Admission under the same per-request rules as the analytic
-    // path (tryAdmitOne); admitted requests reach the ready pool
-    // once decode-ready (immediately, or after prefill chunks). The
-    // policy's admission gate runs first: a deferred prefill blocks
-    // the (FIFO) admission queue until the SLO signal recovers,
-    // re-checked at every cycle completion.
-    auto admitArrivals = [&](double now) {
-        if (!classesActive_ && !budgetsActive_) {
-            // Single-class path: plain FIFO admission, bit-identical
-            // to the pre-tier engine.
-            while (!arrived.empty()) {
-                if (chunked &&
-                    arrived.front().request.contextTokens > 0 &&
-                    !policy->admitPrefill(
-                        policy->needsGapSignal() ? recentGapP95() : 0.0,
-                        gapSamples(), inFlightCount() > 0)) {
-                    ++result_.sloDeferrals;
-                    break;
-                }
-                TimedRequest timed = arrived.front();
-                double prefill_sec = 0.0;
-                AdmitOutcome outcome = tryAdmitOne(timed, prefill_sec);
-                if (outcome == AdmitOutcome::Blocked)
-                    break;
-                arrived.pop_front();
-                if (outcome != AdmitOutcome::Admitted)
-                    continue;
-                Active a{timed.request, 0, timed.arrivalSeconds, -1.0};
-                if (chunked) {
-                    startPrefill(std::move(a), now);
-                } else {
-                    prefill_ready =
-                        std::max(prefill_ready, now) + prefill_sec;
-                    ready_pool.push_back(std::move(a));
-                }
-            }
-            return;
-        }
-        // Class/tenant-aware admission: the queue is scanned rather
-        // than strictly FIFO, so a gated tier or an over-budget
-        // tenant cannot head-of-line block the other classes. FIFO
-        // order is kept inside each (class, tenant) population; a
-        // memory block still halts the scan (only releases clear
-        // it).
-        if (classesActive_ && policy->needsGapSignal())
-            refreshTiersInFlight();
-        std::set<unsigned> entitled = entitledTenantsWaiting(arrived, now);
-        bool gate_deferred = false;
-        for (std::size_t i = 0; i < arrived.size();) {
-            const TimedRequest &timed = arrived[i];
-            if (chunked && timed.request.contextTokens > 0 &&
-                classGateDefers(timed.request.cls)) {
-                // Count at most one deferral per admission check, as
-                // the single-class path does, so the metric stays
-                // comparable across the two paths.
-                if (!gate_deferred) {
-                    ++result_.sloDeferrals;
-                    gate_deferred = true;
-                }
-                ++i;
-                continue;
-            }
-            bool allow_borrow =
-                !budgetsActive_ ||
-                !entitledElsewhere(entitled, timed.request.cls.tenant);
-            double prefill_sec = 0.0;
-            AdmitOutcome outcome =
-                tryAdmitOne(timed, prefill_sec, allow_borrow);
-            if (outcome == AdmitOutcome::Blocked)
-                break;
-            if (outcome == AdmitOutcome::BudgetBlocked) {
-                ++i;
-                continue;
-            }
-            TimedRequest taken = timed;
-            arrived.erase(arrived.begin() +
-                          static_cast<std::ptrdiff_t>(i));
-            if (outcome != AdmitOutcome::Admitted)
-                continue; // Rejected: already counted
-            Active a{taken.request, 0, taken.arrivalSeconds, -1.0};
-            if (chunked) {
-                startPrefill(std::move(a), now);
-            } else {
-                prefill_ready =
-                    std::max(prefill_ready, now) + prefill_sec;
-                ready_pool.push_back(std::move(a));
-            }
-        }
-    };
-
-    startCycle = [&](Cohort &c, double ready) {
-        CyclePlan plan = planCohortCycle(
-            c.members.data(), c.members.data() + c.members.size());
-        double span_cycles = plan.layerSeconds * plan.layersTotal /
-                             spc * cluster_.module.nChannels * tp;
-        accountCycle(plan, span_cycles, acc);
-
-        // A cohort's decode items carry the best (lowest) tier of
-        // its members, so a mixed cohort is arbitrated at the
-        // priority of its most latency-sensitive member.
-        std::uint32_t cohort_tier = 0;
-        if (classesActive_ && !c.members.empty()) {
-            cohort_tier = c.members.front().request.cls.tier;
-            for (const Active &m : c.members)
-                cohort_tier = std::min(cohort_tier, m.request.cls.tier);
-        }
-
-        cycle_items.assign(pp, sim::WorkItem{});
-        for (unsigned s = 0; s < pp; ++s) {
-            unsigned layers = stageLayers(model_.nLayers, pp, s);
-            cycle_items[s].cohort = c.id;
-            cycle_items[s].cycle = c.cycle;
-            cycle_items[s].tier = cohort_tier;
-            cycle_items[s].seconds = plan.layerSeconds * layers;
-            cycle_items[s].fcSeconds = plan.fcLayerSeconds * layers;
-        }
-        ++c.cycle;
-        Cohort *cohort = &c;
-        stages.pipeline().submitChain(
-            queue, cycle_items, ready,
-            [&onCycleComplete, cohort](double t) {
-                onCycleComplete(*cohort, t);
-            });
-    };
-
-    onCycleComplete = [&](Cohort &c, double t) {
-        accountTo(t);
-
-        // Advance every cohort member by one token, compacting the
-        // survivors in place (order preserved, no allocation).
-        std::size_t keep = 0;
-        for (std::size_t i = 0; i < c.members.size(); ++i) {
-            if (advanceMember(c.members[i], t, arrived)) {
-                if (keep != i)
-                    c.members[keep] = std::move(c.members[i]);
-                ++keep;
-            }
-        }
-        c.members.resize(keep);
-
-        ++cycles;
-        if (cycles >= options_.maxSteps)
-            capped = true;
-
-        // Continuous batching with balanced cohorts: survivors and
-        // admissible pending requests meet in the ready pool
-        // (survivors first, so mid-decode requests keep priority),
-        // and the cohort refills up to a fair share of the active
-        // set. The cap keeps cohorts balanced the way the analytic
-        // model's per-step re-split does, while leaving the other
-        // cohorts' in-flight cycles untouched.
-        if (!capped) {
-            admitArrivals(t);
-            ready_pool.insert(ready_pool.begin(),
-                              std::make_move_iterator(c.members.begin()),
-                              std::make_move_iterator(c.members.end()));
-            c.members.clear();
-            sortReadyPoolByTier();
-            std::size_t others = inFlightCount();
-            std::size_t total = others + ready_pool.size();
-            std::size_t target = std::max<std::size_t>(
-                1, ceilDiv<std::size_t>(total, pp));
-            std::size_t take =
-                std::min<std::size_t>(target, ready_pool.size());
-            if (take > 0) {
-                c.members.assign(
-                    std::make_move_iterator(ready_pool.begin()),
-                    std::make_move_iterator(ready_pool.begin() + take));
-                ready_pool.erase(ready_pool.begin(),
-                                 ready_pool.begin() + take);
-            }
-        }
-        if (!c.members.empty() && !capped) {
-            startCycle(c, std::max(t, prefill_ready));
-        } else {
-            Cohort *self = &c;
-            cohorts.remove_if(
-                [self](const Cohort &x) { return &x == self; });
-        }
-        formNewCohorts(t);
-    };
-
-    formNewCohorts = [&](double t) {
-        for (;;) {
-            if (capped)
-                return;
-            if (cohorts.size() >= pp)
-                return; // pipeline slots full; rebalance at cycle ends
-            admitArrivals(t);
-            if (ready_pool.empty()) {
-                // Deadlock guard: nothing in flight (decoding or
-                // prefilling), nothing admissible, and no event can
-                // change that -> the front request can never be
-                // served; reject it.
-                if (cohorts.empty() && prefilling == 0 &&
-                    queue.empty() && !arrived.empty()) {
-                    ++result_.rejectedRequests;
-                    arrived.pop_front();
-                    continue;
-                }
-                return;
-            }
-            sortReadyPoolByTier();
-            std::size_t total = inFlightCount() + ready_pool.size();
-            std::size_t target = std::max<std::size_t>(
-                1, ceilDiv<std::size_t>(total, pp));
-            std::size_t take =
-                std::min<std::size_t>(target, ready_pool.size());
-            cohorts.push_back(Cohort{
-                next_cohort_id++, 0,
-                {std::make_move_iterator(ready_pool.begin()),
-                 std::make_move_iterator(ready_pool.begin() + take)}});
-            ready_pool.erase(ready_pool.begin(),
-                             ready_pool.begin() + take);
-            startCycle(cohorts.back(), std::max(t, prefill_ready));
-        }
-    };
+    ev.stages = std::make_unique<StageDeviceSet>(
+        ev.pp, *module_, xpu_.get(),
+        ev.policy->reordersXpu() ? ev.policy.get() : nullptr);
+    ev.readyPool.reserve(pending_.size());
 
     // Open-loop arrivals become events; time-zero requests are
-    // available immediately. Only the head arrival is scheduled —
-    // each arrival event chains the next one, so the event heap
-    // stays O(1) in the trace length.
-    std::deque<TimedRequest> future;
+    // available immediately.
     while (!pending_.empty()) {
         TimedRequest timed = pending_.front();
         pending_.pop_front();
         if (timed.arrivalSeconds <= 0.0)
-            arrived.push_back(timed);
+            ev.arrived.push_back(timed);
         else
-            future.push_back(timed); // ctor sorted by arrival
+            ev.future.push_back(timed); // ctor sorted by arrival
     }
-    std::function<void(double)> onArrival = [&](double t) {
-        accountTo(t);
-        while (!future.empty() &&
-               future.front().arrivalSeconds <= t) {
-            arrived.push_back(future.front());
-            future.pop_front();
+    evArmArrivalEvent();
+    evFormNewCohorts(0.0);
+}
+
+void
+ServingEngine::advanceTo(double horizon)
+{
+    if (!ev_)
+        fatal("ServingEngine::advanceTo() before prepare()");
+    ev_->queue.runUntil(horizon);
+}
+
+bool
+ServingEngine::drained() const
+{
+    return !ev_ || ev_->queue.empty();
+}
+
+double
+ServingEngine::nextEventTime() const
+{
+    return drained() ? std::numeric_limits<double>::infinity()
+                     : ev_->queue.nextTime();
+}
+
+void
+ServingEngine::declareWorkload(const std::vector<TimedRequest> &trace)
+{
+    if (ev_)
+        fatal("ServingEngine::declareWorkload() after prepare()");
+    // The constructor's activation scan, over a trace whose requests
+    // arrive later through injectArrivals: flip the class/tenant
+    // machinery on and fix per-tier SLO targets before prepare()
+    // allocates the per-tier windows. Per-tier request counts stay
+    // zero — registerInjected counts what this engine actually
+    // receives.
+    for (const auto &timed : trace) {
+        const RequestClass &cls = timed.request.cls;
+        if (!cls.isDefault())
+            classesActive_ = true;
+        if (cls.tenant != 0)
+            tenantsActive_ = true;
+    }
+    tenantsActive_ = tenantsActive_ || budgetsActive_;
+    if (classesActive_) {
+        for (const auto &timed : trace) {
+            const RequestClass &cls = timed.request.cls;
+            TierState &ts = tiers_[cls.tier];
+            // First explicit per-class target wins; tiers without
+            // one are judged against the policy-wide default.
+            if (ts.target == 0.0 && cls.gapSloSeconds > 0.0)
+                ts.target = cls.gapSloSeconds;
         }
-        if (!future.empty())
-            queue.schedule(future.front().arrivalSeconds,
-                           [&onArrival](double at) { onArrival(at); });
-        formNewCohorts(t);
+        for (auto &kv : tiers_)
+            if (kv.second.target == 0.0)
+                kv.second.target = options_.sched.sloTargetGapSeconds;
+    }
+    if (tenantsActive_)
+        for (const auto &timed : trace)
+            (void)tenantState(timed.request.cls.tenant);
+}
+
+void
+ServingEngine::registerInjected(const TimedRequest &timed)
+{
+    // The per-request share of the constructor's bookkeeping: count
+    // the request into its tier and touch its tenant. Inert on the
+    // default-class, no-budget path.
+    const RequestClass &cls = timed.request.cls;
+    if (classesActive_) {
+        TierState &ts = tiers_[cls.tier];
+        ++ts.requests;
+        if (ts.target == 0.0)
+            ts.target = cls.gapSloSeconds > 0.0
+                            ? cls.gapSloSeconds
+                            : options_.sched.sloTargetGapSeconds;
+        // A tier first seen mid-run still gets its SLO window when
+        // the policy steers on the gap signal (declared tiers got
+        // theirs in prepare).
+        if (!ts.window && ev_ && ev_->policy->needsGapSignal() &&
+            options_.sched.sloWindow > 0)
+            ts.window = std::make_unique<WindowedQuantile>(
+                options_.sched.sloWindow, 95.0);
+    }
+    if (tenantsActive_)
+        (void)tenantState(cls.tenant);
+}
+
+void
+ServingEngine::injectArrivals(const std::vector<TimedRequest> &batch)
+{
+    if (!ev_)
+        fatal("ServingEngine::injectArrivals() before prepare()");
+    if (ev_->finalized)
+        fatal("ServingEngine::injectArrivals() after finalize()");
+    EventRun &ev = *ev_;
+    bool immediate = false;
+    for (const TimedRequest &timed : batch) {
+        registerInjected(timed);
+        if (timed.arrivalSeconds <= 0.0) {
+            ev.arrived.push_back(timed);
+            immediate = true;
+        } else {
+            // Merge into the nondecreasing pending-arrival stream;
+            // upper_bound keeps FIFO order among equal arrival
+            // times (later injections queue behind earlier ones).
+            auto pos = std::upper_bound(
+                ev.future.begin(), ev.future.end(),
+                timed.arrivalSeconds,
+                [](double t, const TimedRequest &r) {
+                    return t < r.arrivalSeconds;
+                });
+            ev.future.insert(pos, timed);
+        }
+    }
+    evArmArrivalEvent();
+    // Time-zero deliveries skip the arrival-event path (exactly as
+    // constructor-supplied time-zero requests do), so form cohorts
+    // for them now.
+    if (immediate)
+        evFormNewCohorts(ev.queue.now());
+}
+
+double
+ServingEngine::queuedTokens() const
+{
+    auto request_tokens = [](const Request &r) {
+        return static_cast<double>(r.contextTokens + r.decodeTokens);
     };
-    if (!future.empty())
-        queue.schedule(future.front().arrivalSeconds,
-                       [&onArrival](double at) { onArrival(at); });
+    double sum = 0.0;
+    for (const auto &timed : pending_)
+        sum += request_tokens(timed.request);
+    if (!ev_)
+        return sum;
+    const EventRun &ev = *ev_;
+    for (const auto &timed : ev.future)
+        sum += request_tokens(timed.request);
+    for (const auto &timed : ev.arrived)
+        sum += request_tokens(timed.request);
+    for (const auto &a : ev.readyPool)
+        sum += request_tokens(a.request) - static_cast<double>(a.generated);
+    for (const auto &c : ev.cohorts)
+        for (const auto &a : c.members)
+            sum += request_tokens(a.request) -
+                   static_cast<double>(a.generated);
+    return sum + ev.prefillingTokens;
+}
 
-    formNewCohorts(0.0);
-    queue.runAll();
+EngineResult
+ServingEngine::finalize()
+{
+    if (!ev_)
+        fatal("ServingEngine::finalize() before prepare()");
+    EventRun &ev = *ev_;
+    if (ev.finalized)
+        fatal("ServingEngine::finalize() called twice");
+    ev.finalized = true;
 
-    if (capped)
+    if (ev.capped)
         warn("engine stopped at the cycle cap (%llu)",
              static_cast<unsigned long long>(options_.maxSteps));
 
     // Per-policy observability off the stage timelines.
-    for (unsigned s = 0; s < stages.count(); ++s) {
-        XpuStageDevice *x = stages.stage(s).xpu();
+    for (unsigned s = 0; s < ev.stages->count(); ++s) {
+        XpuStageDevice *x = ev.stages->stage(s).xpu();
         if (!x)
             continue;
         result_.chunkSlices += x->preemptionSlices() -
@@ -1079,10 +1303,18 @@ ServingEngine::runEventDriven()
         result_.xpuPrefillBusySeconds += x->prefillBusySeconds();
     }
 
-    result_.simulatedSeconds = end_time;
-    result_.simEvents = queue.dispatched();
-    finalizeResult(acc, batch_time, capacity_time);
+    result_.simulatedSeconds = ev.endTime;
+    result_.simEvents = ev.queue.dispatched();
+    finalizeResult(ev.acc, ev.batchTime, ev.capacityTime);
     return result_;
+}
+
+EngineResult
+ServingEngine::runEventDriven()
+{
+    prepare();
+    ev_->queue.runAll();
+    return finalize();
 }
 
 void

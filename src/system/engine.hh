@@ -291,7 +291,75 @@ class ServingEngine
                   std::vector<TimedRequest> requests,
                   const EngineOptions &options);
 
+    ~ServingEngine();
+
     EngineResult run();
+
+    // --- Resumable sub-simulation interface (event-driven model
+    // --- only). run() is the exact composition prepare() ->
+    // --- advanceTo(+inf) -> finalize(), bit for bit, so a windowed
+    // --- caller (the fleet simulation) reproduces a monolithic run
+    // --- whenever it feeds the same arrivals. --------------------------
+
+    /**
+     * Pre-declare the class/tenant shape of a workload whose
+     * requests will be delivered later through injectArrivals():
+     * activates the request-class and tenant bookkeeping (per-tier
+     * SLO targets, tenant states) exactly as the constructor does
+     * for an up-front request list. Must run before prepare(); a
+     * purely default-class trace leaves the engine bit-identical to
+     * an undeclared one.
+     */
+    void declareWorkload(const std::vector<TimedRequest> &trace);
+
+    /**
+     * Build the event-driven run state and schedule the initial
+     * events (constructor-supplied arrivals, first cohorts). After
+     * prepare() the engine is a resumable sub-simulation: advance it
+     * with advanceTo(), feed it with injectArrivals(), and close it
+     * with finalize().
+     */
+    void prepare();
+
+    /**
+     * Dispatch every pending event at or before @p horizon
+     * (inclusive) in event order; later events stay queued. Windowed
+     * advances with increasing horizons replay exactly the event
+     * sequence one runAll() would dispatch.
+     */
+    void advanceTo(double horizon);
+
+    /** No pending events (the sub-simulation is quiescent). */
+    bool drained() const;
+
+    /** Earliest pending event time; +infinity when drained. */
+    double nextEventTime() const;
+
+    /**
+     * Deliver requests mid-run (router dispatch). Arrivals at or
+     * before time zero join the admission queue immediately; later
+     * ones are merged into the pending-arrival stream and fire as
+     * arrival events. Callers must never inject an arrival earlier
+     * than events already dispatched — the fleet's conservative
+     * window protocol guarantees this by construction.
+     */
+    void injectArrivals(const std::vector<TimedRequest> &batch);
+
+    /**
+     * Outstanding work queued on this engine, in tokens: context +
+     * remaining decode summed over waiting, prefilling, and decoding
+     * requests. The load signal least-loaded routers balance on;
+     * O(queued requests) per call, intended for window barriers.
+     */
+    double queuedTokens() const;
+
+    /**
+     * Close a prepared run: collect the per-stage policy metrics,
+     * summarize latency samples, and return the result — the tail
+     * run() executes after its event loop drains. Call once, after
+     * the final advanceTo().
+     */
+    EngineResult finalize();
 
   private:
     struct Active
@@ -399,6 +467,64 @@ class ServingEngine
     void finalizeResult(const ChannelAccum &acc, double batch_time,
                         double capacity_time);
 
+    // --- Event-driven run state (the former runEventDriven locals,
+    // --- hoisted so the run is resumable between advanceTo calls).
+    // --- Both types live in engine.cc; the ev* methods below are
+    // --- the former run-local lambdas, one to one. ------------------
+
+    /** One in-flight decode cohort (micro-batch). */
+    struct EventCohort;
+
+    /** Heap-held state of one prepared event-driven run. */
+    struct EventRun;
+
+    /** Integrate batch/capacity time-averages up to @p t. */
+    void evAccountTo(double t);
+
+    /** Decoding requests across the in-flight cohorts. */
+    std::size_t evInFlightCount() const;
+
+    /** Stable tier ordering of the ready pool (classes only). */
+    void evSortReadyPoolByTier();
+
+    /** Windowed p95 decode gap (0 without a gap window). */
+    double evRecentGapP95() const;
+    std::size_t evGapSamples() const;
+
+    /** Hoist the per-scan tier in-flight flags (class gate). */
+    void evRefreshTiersInFlight();
+
+    /** Per-class SLO admission gate (see classGateDefers notes). */
+    bool evClassGateDefers(const RequestClass &cls);
+
+    /** Admission scan over the arrived queue at event time @p now. */
+    void evAdmitArrivals(double now);
+
+    /** Submit an admitted request's chunked prefill sequence. */
+    void evStartPrefill(Active a, double now);
+
+    /** Submit one decode cycle of @p c on the stage pipeline. */
+    void evStartCycle(EventCohort &c, double ready);
+
+    /** Cycle completion: advance members, rebalance, resubmit. */
+    void evOnCycleComplete(EventCohort &c, double t);
+
+    /** Form cohorts from the ready pool while slots are free. */
+    void evFormNewCohorts(double t);
+
+    /** Arrival event: drain due arrivals, re-arm, form cohorts. */
+    void evOnArrival(double t);
+
+    /**
+     * Schedule the arrival event for the earliest pending arrival
+     * unless one at or before it is already armed (injectArrivals
+     * may re-arm earlier than a drained chain would).
+     */
+    void evArmArrivalEvent();
+
+    /** Per-request class/tenant bookkeeping of a mid-run arrival. */
+    void registerInjected(const TimedRequest &timed);
+
     // --- Request-class / tenant-budget machinery (inactive — and
     // --- bit-transparent — when the workload is single-class and no
     // --- budgets are configured). -----------------------------------
@@ -502,6 +628,9 @@ class ServingEngine
 
     /** Per-cycle scratch for planCohortCycle's attention jobs. */
     std::vector<AttentionJob> jobsScratch_;
+
+    /** Live event-driven run (prepare() .. finalize()). */
+    std::unique_ptr<EventRun> ev_;
 
     EngineResult result_;
 };

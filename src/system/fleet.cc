@@ -1,0 +1,341 @@
+#include "system/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace pimphony {
+
+std::string
+routePolicyName(RoutePolicy policy)
+{
+    switch (policy) {
+      case RoutePolicy::RoundRobin:  return "round-robin";
+      case RoutePolicy::LeastLoaded: return "least-loaded";
+    }
+    return "?";
+}
+
+FleetEngine::FleetEngine(const ClusterConfig &cluster,
+                         const LlmConfig &model,
+                         std::vector<TimedRequest> trace,
+                         const FleetOptions &options)
+    : cluster_(cluster), model_(model), trace_(std::move(trace)),
+      options_(options)
+{
+    if (options_.replicas == 0)
+        fatal("FleetEngine: at least one replica is required");
+    if (options_.engine.stepModel != StepModel::EventDriven)
+        fatal("FleetEngine: the fleet simulation requires the "
+              "event-driven step model");
+    if (options_.dispatchLatencySeconds < 0.0)
+        fatal("FleetEngine: negative dispatch latency");
+    sortByArrival(trace_);
+}
+
+std::size_t
+FleetEngine::pickReplica(const TimedRequest &timed)
+{
+    if (options_.policy == RoutePolicy::RoundRobin) {
+        std::size_t r = rrNext_;
+        rrNext_ = (rrNext_ + 1) % options_.replicas;
+        return r;
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < loads_.size(); ++i)
+        if (loads_[i] < loads_[best])
+            best = i;
+    loads_[best] += static_cast<double>(timed.request.contextTokens +
+                                        timed.request.decodeTokens);
+    return best;
+}
+
+FleetResult
+FleetEngine::run()
+{
+    if (ran_)
+        fatal("FleetEngine::run() may be called once");
+    ran_ = true;
+
+    const std::size_t R = options_.replicas;
+    const double d = options_.dispatchLatencySeconds;
+
+    std::vector<std::unique_ptr<ServingEngine>> engines;
+    engines.reserve(R);
+    for (std::size_t i = 0; i < R; ++i) {
+        auto eng = std::make_unique<ServingEngine>(
+            cluster_, model_, std::vector<TimedRequest>{},
+            options_.engine);
+        // Every replica learns the full class/tenant shape of the
+        // trace up front, exactly as a bare engine would from its
+        // constructor, even though it will receive only a routed
+        // subset.
+        eng->declareWorkload(trace_);
+        eng->prepare();
+        engines.push_back(std::move(eng));
+    }
+
+    FleetResult fleet;
+    fleet.routedRequests.assign(R, 0);
+    loads_.assign(R, 0.0);
+
+    std::vector<std::vector<TimedRequest>> batches(R);
+    std::size_t next = 0; // next unrouted trace index
+
+    auto refreshLoads = [&]() {
+        if (options_.policy != RoutePolicy::LeastLoaded)
+            return;
+        for (std::size_t i = 0; i < R; ++i)
+            loads_[i] = engines[i]->queuedTokens();
+    };
+    auto routeDue = [&](double barrier, double delay) {
+        for (std::size_t i = 0; i < R; ++i)
+            batches[i].clear();
+        while (next < trace_.size() &&
+               trace_[next].arrivalSeconds <= barrier) {
+            TimedRequest timed = trace_[next++];
+            std::size_t r = pickReplica(timed);
+            timed.arrivalSeconds += delay;
+            batches[r].push_back(timed);
+            ++fleet.routedRequests[r];
+        }
+        for (std::size_t i = 0; i < R; ++i)
+            if (!batches[i].empty())
+                engines[i]->injectArrivals(batches[i]);
+    };
+    auto allDrained = [&]() {
+        for (const auto &eng : engines)
+            if (!eng->drained())
+                return false;
+        return true;
+    };
+
+    if (d <= 0.0) {
+        // Zero lookahead: serial lockstep. For each distinct arrival
+        // time, advance every replica to it (index order), route
+        // with replica state at that instant, inject with no delay.
+        while (next < trace_.size()) {
+            double t = trace_[next].arrivalSeconds;
+            for (auto &eng : engines)
+                eng->advanceTo(t);
+            refreshLoads();
+            routeDue(t, 0.0);
+            ++fleet.windows;
+        }
+        for (auto &eng : engines)
+            eng->advanceTo(std::numeric_limits<double>::infinity());
+        ++fleet.windows; // final drain
+    } else {
+        // Conservative windows of width W = d. At barrier B_j route
+        // everything with t <= B_j (delivery t + d <= B_{j+1}), then
+        // advance all replicas to B_{j+1} in parallel: every event
+        // inside the window is already known to its replica.
+        //
+        // Router-idle barriers are skipped: a barrier that routes
+        // nothing neither reads nor changes replica state, so
+        // advancing straight to the next barrier with a routable
+        // arrival dispatches the identical event sequence (runUntil
+        // horizons compose) while batching the per-window pool
+        // hand-off into usefully large chunks of work.
+        SweepRunner runner(options_.threads);
+        std::uint64_t j = 0;
+        while (next < trace_.size()) {
+            double t_next = trace_[next].arrivalSeconds;
+            if (t_next > 0.0) {
+                // First barrier that can route t_next (t <= j * W).
+                auto jump = static_cast<std::uint64_t>(
+                    std::ceil(t_next / d));
+                // FP rounding may land one barrier short; the loop
+                // below routes nothing there and retries at the
+                // next, so correctness is unaffected either way.
+                j = std::max(j, jump);
+            }
+            // Advance everyone to the routing barrier first (one
+            // batched parallel advance across the skipped idle
+            // windows), so the router reads replica state — the
+            // least-loaded signal — at exactly the barrier instant,
+            // as an unbatched window-by-window loop would.
+            double barrier = static_cast<double>(j) * d;
+            runner.forEach(R, [&](std::size_t i) {
+                engines[i]->advanceTo(barrier);
+            });
+            refreshLoads();
+            // Deliveries land in (B_j, B_{j+1}]: ahead of every
+            // replica's advanced horizon, never behind it.
+            routeDue(barrier, d);
+            ++fleet.windows;
+            ++j;
+        }
+        // Every request is routed and injected, so no cross-replica
+        // event can occur again: the remaining work is one
+        // independent drain per replica.
+        runner.forEach(R, [&](std::size_t i) {
+            engines[i]->advanceTo(
+                std::numeric_limits<double>::infinity());
+        });
+        ++fleet.windows;
+    }
+
+    fleet.replicas.reserve(R);
+    for (auto &eng : engines)
+        fleet.replicas.push_back(eng->finalize());
+    fleet.aggregate = aggregateResults(fleet.replicas);
+    return fleet;
+}
+
+EngineResult
+FleetEngine::aggregateResults(const std::vector<EngineResult> &results)
+{
+    EngineResult agg;
+
+    // Weighted-average accumulators: (sum of value * weight, sum of
+    // weight) pairs folded into the mean at the end.
+    double lat_w = 0.0, lat_sum = 0.0;
+    double ttft_w = 0.0, ttft_sum = 0.0;
+    double gap_w = 0.0, gap_sum = 0.0;
+    double batch_sum = 0.0, mac_sum = 0.0, cap_sum = 0.0;
+    double sec_sum = 0.0;
+
+    struct ClassAccum
+    {
+        EngineResult::ClassLatency out;
+        double ttft_w = 0.0, ttft_sum = 0.0;
+        double gap_w = 0.0, gap_sum = 0.0;
+    };
+    std::map<unsigned, ClassAccum> classes;
+
+    struct TenantAccum
+    {
+        EngineResult::TenantOccupancy out;
+        double share_sum = 0.0, share_w = 0.0;
+    };
+    std::map<unsigned, TenantAccum> tenants;
+
+    for (const EngineResult &r : results) {
+        agg.generatedTokens += r.generatedTokens;
+        agg.completedRequests += r.completedRequests;
+        agg.rejectedRequests += r.rejectedRequests;
+        agg.preemptions += r.preemptions;
+        agg.simEvents += r.simEvents;
+        agg.sloDeferrals += r.sloDeferrals;
+        agg.chunkSlices += r.chunkSlices;
+        agg.decodeOvertakes += r.decodeOvertakes;
+        agg.decodePreemptSlices += r.decodePreemptSlices;
+        agg.tierInversions += r.tierInversions;
+        agg.budgetDeferrals += r.budgetDeferrals;
+
+        agg.attentionSeconds += r.attentionSeconds;
+        agg.fcSeconds += r.fcSeconds;
+        agg.prefillSeconds += r.prefillSeconds;
+        agg.xpuPrefillBusySeconds += r.xpuPrefillBusySeconds;
+        agg.attentionEnergy += r.attentionEnergy;
+        agg.fcEnergy += r.fcEnergy;
+
+        agg.simulatedSeconds =
+            std::max(agg.simulatedSeconds, r.simulatedSeconds);
+        agg.maxDecodeXpuWaitSeconds = std::max(
+            agg.maxDecodeXpuWaitSeconds, r.maxDecodeXpuWaitSeconds);
+        agg.maxTierInversionWaitSeconds =
+            std::max(agg.maxTierInversionWaitSeconds,
+                     r.maxTierInversionWaitSeconds);
+        agg.p95RequestLatency =
+            std::max(agg.p95RequestLatency, r.p95RequestLatency);
+        agg.p95FirstTokenSeconds =
+            std::max(agg.p95FirstTokenSeconds, r.p95FirstTokenSeconds);
+        agg.p95TokenGapSeconds =
+            std::max(agg.p95TokenGapSeconds, r.p95TokenGapSeconds);
+
+        double w = static_cast<double>(r.completedRequests);
+        lat_w += w;
+        lat_sum += r.avgRequestLatency * w;
+        double fw = static_cast<double>(r.firstTokenLatency.size());
+        ttft_w += fw;
+        ttft_sum += r.avgFirstTokenSeconds * fw;
+        double gw = static_cast<double>(r.generatedTokens) -
+                    static_cast<double>(r.firstTokenLatency.size());
+        gw = std::max(gw, 0.0);
+        gap_w += gw;
+        gap_sum += r.avgTokenGapSeconds * gw;
+
+        batch_sum += r.avgEffectiveBatch * r.simulatedSeconds;
+        mac_sum += r.macUtilization * r.simulatedSeconds;
+        cap_sum += r.capacityUtilization * r.simulatedSeconds;
+        sec_sum += r.simulatedSeconds;
+
+        for (const auto &kv : r.firstTokenLatency)
+            agg.firstTokenLatency[kv.first] = kv.second;
+
+        for (const auto &cl : r.classLatencies) {
+            ClassAccum &ca = classes[cl.tier];
+            ca.out.tier = cl.tier;
+            ca.out.gapSloTargetSeconds = std::max(
+                ca.out.gapSloTargetSeconds, cl.gapSloTargetSeconds);
+            ca.out.requests += cl.requests;
+            ca.out.completedRequests += cl.completedRequests;
+            double cw = static_cast<double>(cl.completedRequests);
+            ca.ttft_w += cw;
+            ca.ttft_sum += cl.avgFirstTokenSeconds * cw;
+            ca.gap_w += cw;
+            ca.gap_sum += cl.avgTokenGapSeconds * cw;
+            ca.out.p95FirstTokenSeconds = std::max(
+                ca.out.p95FirstTokenSeconds, cl.p95FirstTokenSeconds);
+            ca.out.p95TokenGapSeconds = std::max(
+                ca.out.p95TokenGapSeconds, cl.p95TokenGapSeconds);
+        }
+
+        for (const auto &to : r.tenantOccupancy) {
+            TenantAccum &ta = tenants[to.tenant];
+            ta.out.tenant = to.tenant;
+            ta.out.budgetShare =
+                std::max(ta.out.budgetShare, to.budgetShare);
+            ta.out.admittedRequests += to.admittedRequests;
+            ta.out.budgetDeferrals += to.budgetDeferrals;
+            ta.out.peakTokenShare =
+                std::max(ta.out.peakTokenShare, to.peakTokenShare);
+            ta.share_sum += to.avgTokenShare * r.simulatedSeconds;
+            ta.share_w += r.simulatedSeconds;
+        }
+    }
+
+    if (agg.simulatedSeconds > 0.0)
+        agg.tokensPerSecond = static_cast<double>(agg.generatedTokens) /
+                              agg.simulatedSeconds;
+    if (lat_w > 0.0)
+        agg.avgRequestLatency = lat_sum / lat_w;
+    if (ttft_w > 0.0)
+        agg.avgFirstTokenSeconds = ttft_sum / ttft_w;
+    if (gap_w > 0.0)
+        agg.avgTokenGapSeconds = gap_sum / gap_w;
+    if (agg.simulatedSeconds > 0.0)
+        // Sum of per-replica concurrent batches, time-averaged over
+        // the fleet makespan.
+        agg.avgEffectiveBatch = batch_sum / agg.simulatedSeconds;
+    if (sec_sum > 0.0) {
+        agg.macUtilization = mac_sum / sec_sum;
+        agg.capacityUtilization = cap_sum / sec_sum;
+    }
+
+    for (auto &kv : classes) {
+        ClassAccum &ca = kv.second;
+        if (ca.ttft_w > 0.0)
+            ca.out.avgFirstTokenSeconds = ca.ttft_sum / ca.ttft_w;
+        if (ca.gap_w > 0.0)
+            ca.out.avgTokenGapSeconds = ca.gap_sum / ca.gap_w;
+        agg.classLatencies.push_back(ca.out);
+    }
+    for (auto &kv : tenants) {
+        TenantAccum &ta = kv.second;
+        if (ta.share_w > 0.0)
+            ta.out.avgTokenShare = ta.share_sum / ta.share_w;
+        agg.tenantOccupancy.push_back(ta.out);
+    }
+    return agg;
+}
+
+} // namespace pimphony

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Fleet simulation: N replica serving engines behind a request
+ * router, advanced under conservative time-window synchronization.
+ *
+ * The router's dispatch latency d is the fleet's lookahead bound: a
+ * request the router sees at time t cannot reach a replica before
+ * t + d. The fleet exploits this the way conservative parallel
+ * discrete-event simulation does — simulated time is cut into
+ * windows of width W = d with barriers B_j = j * W. At barrier B_j
+ * every trace arrival with t <= B_j is routed (delivered to its
+ * replica at t + d <= B_{j+1}), so when the replicas advance through
+ * the window (B_j, B_{j+1}] they already hold every event that can
+ * occur inside it: no mid-window injection is possible, and each
+ * replica runs its own EventQueue independently. Within a window the
+ * replicas execute in parallel on a SweepRunner pool; routing and
+ * result merging happen serially between windows in replica index
+ * order, so a T-thread fleet is bit-identical to a serial one, and a
+ * 1-replica fleet is bit-identical to a bare ServingEngine fed the
+ * same (dispatch-shifted) arrivals.
+ *
+ * Zero lookahead (d = 0) removes the window slack, so the fleet
+ * degenerates to serial lockstep: replicas advance to each distinct
+ * arrival time in index order, the router reads their state at that
+ * instant, and the request is injected with no dispatch delay.
+ * Parallel advance would be fruitless there (every barrier is a
+ * routing point), so the thread pool is bypassed regardless of the
+ * configured thread count.
+ */
+
+#ifndef PIMPHONY_SYSTEM_FLEET_HH
+#define PIMPHONY_SYSTEM_FLEET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/engine.hh"
+#include "workload/arrival.hh"
+
+namespace pimphony {
+
+/** How the fleet router picks a replica for each request. */
+enum class RoutePolicy {
+    /** Strict cycling over replicas in request order. */
+    RoundRobin,
+
+    /**
+     * The replica with the fewest outstanding tokens (context +
+     * remaining decode over waiting, prefilling, and decoding
+     * requests), ties to the lowest index. Loads are refreshed from
+     * the replicas at each window barrier and updated locally as the
+     * barrier's requests are placed, so routing stays deterministic
+     * and identical between serial and parallel runs.
+     */
+    LeastLoaded,
+};
+
+std::string routePolicyName(RoutePolicy policy);
+
+struct FleetOptions
+{
+    /** Replica serving engines behind the router. */
+    unsigned replicas = 1;
+
+    RoutePolicy policy = RoutePolicy::RoundRobin;
+
+    /**
+     * Router dispatch latency in seconds: a request routed at t
+     * arrives at its replica at t + d. Doubles as the conservative
+     * lookahead window width; 0 falls back to serial lockstep.
+     */
+    double dispatchLatencySeconds = 0.0;
+
+    /**
+     * Worker threads for the within-window replica advances
+     * (SweepRunner semantics: 1 = exact inline serial path, 0 = one
+     * per hardware core). Results are bit-identical across thread
+     * counts by construction.
+     */
+    unsigned threads = 1;
+
+    /** Per-replica engine configuration (event-driven model only). */
+    EngineOptions engine;
+};
+
+struct FleetResult
+{
+    /**
+     * Fleet-level roll-up of the per-replica results. Counters
+     * (tokens, requests, events, energies, policy metrics) are sums;
+     * simulatedSeconds is the fleet makespan (max over replicas) and
+     * tokensPerSecond the fleet throughput over it; averages are
+     * weighted by each replica's sample count; p95s are the max over
+     * replicas — a conservative bound, since exact fleet percentiles
+     * would need the merged sample sets the replicas no longer hold.
+     * A deterministic function of the per-replica results.
+     */
+    EngineResult aggregate;
+
+    /** Per-replica results, in replica index order. */
+    std::vector<EngineResult> replicas;
+
+    /** Requests routed to each replica, in replica index order. */
+    std::vector<std::uint64_t> routedRequests;
+
+    /**
+     * Synchronization rounds executed: parallel window advances
+     * under positive lookahead, per-arrival-time lockstep barriers
+     * under zero lookahead, plus the final drain in both modes.
+     * Router-idle barriers (nothing routable at or before them) are
+     * skipped — they neither read nor change replica state, so
+     * jumping to the next router-active barrier dispatches the
+     * identical event sequence — and once the trace is exhausted
+     * the remaining work is one independent drain per replica.
+     */
+    std::uint64_t windows = 0;
+};
+
+/**
+ * Router + N replica ServingEngines over one open-loop trace.
+ * Requires the event-driven step model (the resumable engine
+ * interface); run() may be called once.
+ */
+class FleetEngine
+{
+  public:
+    FleetEngine(const ClusterConfig &cluster, const LlmConfig &model,
+                std::vector<TimedRequest> trace,
+                const FleetOptions &options);
+
+    FleetResult run();
+
+  private:
+    /** Route one request: returns the chosen replica index. */
+    std::size_t pickReplica(const TimedRequest &timed);
+
+    /** Fleet-level aggregate of @p results (see FleetResult). */
+    static EngineResult
+    aggregateResults(const std::vector<EngineResult> &results);
+
+    ClusterConfig cluster_;
+    LlmConfig model_;
+    std::vector<TimedRequest> trace_;
+    FleetOptions options_;
+
+    /** Router load signal: queued tokens per replica (LeastLoaded). */
+    std::vector<double> loads_;
+
+    std::size_t rrNext_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace pimphony
+
+#endif // PIMPHONY_SYSTEM_FLEET_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the bench harnesses' machine-readable row writer: the
+ * documents CI diffs and gates on must stay valid JSON whatever the
+ * row values contain — control characters in strings, full-precision
+ * doubles, non-finite values — and numbers must survive a
+ * write/parse round trip bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "../bench/bench_util.hh"
+
+namespace pimphony {
+namespace {
+
+std::string
+writeAndRead(const bench::JsonRows &json)
+{
+    std::string path =
+        ::testing::TempDir() + "bench_json_test_rows.json";
+    EXPECT_TRUE(json.writeFile(path));
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    std::remove(path.c_str());
+    return ss.str();
+}
+
+TEST(BenchJson, EscapesStringValues)
+{
+    bench::JsonRows json("escape\"me");
+    json.beginRow();
+    json.field("quoted", std::string("a\"b"));
+    json.field("backslash", std::string("a\\b"));
+    json.field("newline", std::string("a\nb"));
+    json.field("tab", std::string("a\tb"));
+    json.field("carriage", std::string("a\rb"));
+    json.field("control", std::string("a\x01") + "b");
+    std::string doc = writeAndRead(json);
+
+    EXPECT_NE(doc.find("\"bench\": \"escape\\\"me\""), std::string::npos);
+    EXPECT_NE(doc.find("\"quoted\": \"a\\\"b\""), std::string::npos);
+    EXPECT_NE(doc.find("\"backslash\": \"a\\\\b\""), std::string::npos);
+    EXPECT_NE(doc.find("\"newline\": \"a\\nb\""), std::string::npos);
+    EXPECT_NE(doc.find("\"tab\": \"a\\tb\""), std::string::npos);
+    EXPECT_NE(doc.find("\"carriage\": \"a\\rb\""), std::string::npos);
+    EXPECT_NE(doc.find("\"control\": \"a\\u0001b\""), std::string::npos);
+    // No raw control character may survive into the document.
+    for (char c : doc)
+        EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20)
+            << "raw control char in JSON output";
+}
+
+TEST(BenchJson, DoublesRoundTripThroughTheDocument)
+{
+    // Values with no short decimal form: %.17g must reproduce the
+    // exact bits when parsed back.
+    const double values[] = {1.0 / 3.0, 2997352.881286907,
+                             0.52922050150400146, 1e-17, -0.0,
+                             123456789.12345679};
+    bench::JsonRows json("roundtrip");
+    for (double v : values) {
+        json.beginRow();
+        json.field("v", v);
+    }
+    std::string doc = writeAndRead(json);
+
+    std::size_t pos = 0;
+    for (double v : values) {
+        pos = doc.find("\"v\": ", pos);
+        ASSERT_NE(pos, std::string::npos);
+        pos += 5;
+        double parsed = std::strtod(doc.c_str() + pos, nullptr);
+        EXPECT_EQ(parsed, v);
+        // The emitted token uses '.' regardless of locale.
+        std::size_t end = doc.find_first_of(",}\n", pos);
+        EXPECT_EQ(doc.substr(pos, end - pos).find(','),
+                  std::string::npos);
+    }
+}
+
+TEST(BenchJson, NonFiniteValuesDegradeToNull)
+{
+    bench::JsonRows json("nonfinite");
+    json.beginRow();
+    json.field("inf", std::numeric_limits<double>::infinity());
+    json.field("ninf", -std::numeric_limits<double>::infinity());
+    json.field("nan", std::numeric_limits<double>::quiet_NaN());
+    std::string doc = writeAndRead(json);
+
+    EXPECT_NE(doc.find("\"inf\": null"), std::string::npos);
+    EXPECT_NE(doc.find("\"ninf\": null"), std::string::npos);
+    EXPECT_NE(doc.find("\"nan\": null"), std::string::npos);
+    EXPECT_EQ(doc.find("inf,"), std::string::npos);
+    EXPECT_EQ(doc.find("nan,"), std::string::npos);
+}
+
+} // namespace
+} // namespace pimphony

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the fleet simulation: conservative-window replica
+ * advancement behind a routing front-end.
+ *
+ * The acceptance properties:
+ *  (a) a 1-replica fleet is bit-identical (field by field, over the
+ *      timing-independent metrics) to a bare ServingEngine::run()
+ *      fed the same arrivals — with zero dispatch latency directly,
+ *      with positive latency after shifting every arrival by it;
+ *  (b) an N-replica fleet advanced on T threads is bit-identical to
+ *      the same fleet advanced serially, for both routing policies;
+ *  (c) the zero-lookahead lockstep fallback is thread-count
+ *      independent;
+ *  (d) window-protocol edges hold: a replica idling across many
+ *      windows stays correct, and an arrival landing exactly on a
+ *      window barrier routes at that barrier (inclusive bound).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "system/engine.hh"
+#include "system/fleet.hh"
+#include "workload/arrival.hh"
+#include "workload/trace.hh"
+
+namespace pimphony {
+namespace {
+
+LlmConfig
+testModel()
+{
+    return LlmConfig::llm7b(true);
+}
+
+ClusterConfig
+testCluster(const LlmConfig &model)
+{
+    auto cluster = ClusterConfig::neupimsLike(model);
+    cluster.plan = ParallelPlan{cluster.nModules / 4, 4};
+    applyOptions(cluster, PimphonyOptions::all());
+    return cluster;
+}
+
+EngineOptions
+testEngineOptions()
+{
+    EngineOptions opts;
+    opts.allocator = AllocatorKind::LazyChunk;
+    opts.stepModel = StepModel::EventDriven;
+    opts.prefillChunkTokens = 2048;
+    return opts;
+}
+
+std::vector<TimedRequest>
+testTrace(std::size_t n, double rate, std::uint64_t seed)
+{
+    std::vector<Request> reqs;
+    for (RequestId i = 0; i < n; ++i)
+        reqs.push_back({i, (i % 4 == 0) ? Tokens(20000) : Tokens(2000),
+                        16});
+    return poissonArrivals(reqs, rate, seed);
+}
+
+/**
+ * Field-by-field equality over the timing-independent EngineResult
+ * metrics (the engine_determinism_test comparison surface).
+ */
+void
+expectSameResult(const EngineResult &a, const EngineResult &b)
+{
+    EXPECT_EQ(a.tokensPerSecond, b.tokensPerSecond);
+    EXPECT_EQ(a.simulatedSeconds, b.simulatedSeconds);
+    EXPECT_EQ(a.generatedTokens, b.generatedTokens);
+    EXPECT_EQ(a.completedRequests, b.completedRequests);
+    EXPECT_EQ(a.rejectedRequests, b.rejectedRequests);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.avgEffectiveBatch, b.avgEffectiveBatch);
+    EXPECT_EQ(a.macUtilization, b.macUtilization);
+    EXPECT_EQ(a.capacityUtilization, b.capacityUtilization);
+    EXPECT_EQ(a.attentionSeconds, b.attentionSeconds);
+    EXPECT_EQ(a.fcSeconds, b.fcSeconds);
+    EXPECT_EQ(a.prefillSeconds, b.prefillSeconds);
+    EXPECT_EQ(a.avgRequestLatency, b.avgRequestLatency);
+    EXPECT_EQ(a.p95RequestLatency, b.p95RequestLatency);
+    EXPECT_EQ(a.avgFirstTokenSeconds, b.avgFirstTokenSeconds);
+    EXPECT_EQ(a.p95FirstTokenSeconds, b.p95FirstTokenSeconds);
+    EXPECT_EQ(a.avgTokenGapSeconds, b.avgTokenGapSeconds);
+    EXPECT_EQ(a.p95TokenGapSeconds, b.p95TokenGapSeconds);
+    EXPECT_EQ(a.sloDeferrals, b.sloDeferrals);
+    EXPECT_EQ(a.chunkSlices, b.chunkSlices);
+    EXPECT_EQ(a.decodeOvertakes, b.decodeOvertakes);
+    EXPECT_EQ(a.decodePreemptSlices, b.decodePreemptSlices);
+    EXPECT_EQ(a.tierInversions, b.tierInversions);
+    EXPECT_EQ(a.maxTierInversionWaitSeconds,
+              b.maxTierInversionWaitSeconds);
+    EXPECT_EQ(a.maxDecodeXpuWaitSeconds, b.maxDecodeXpuWaitSeconds);
+    EXPECT_EQ(a.xpuPrefillBusySeconds, b.xpuPrefillBusySeconds);
+    EXPECT_EQ(a.simEvents, b.simEvents);
+    EXPECT_EQ(a.budgetDeferrals, b.budgetDeferrals);
+    EXPECT_EQ(a.firstTokenLatency, b.firstTokenLatency);
+    ASSERT_EQ(a.classLatencies.size(), b.classLatencies.size());
+    for (std::size_t i = 0; i < a.classLatencies.size(); ++i) {
+        const auto &ca = a.classLatencies[i];
+        const auto &cb = b.classLatencies[i];
+        EXPECT_EQ(ca.tier, cb.tier);
+        EXPECT_EQ(ca.requests, cb.requests);
+        EXPECT_EQ(ca.completedRequests, cb.completedRequests);
+        EXPECT_EQ(ca.avgFirstTokenSeconds, cb.avgFirstTokenSeconds);
+        EXPECT_EQ(ca.p95TokenGapSeconds, cb.p95TokenGapSeconds);
+    }
+    ASSERT_EQ(a.tenantOccupancy.size(), b.tenantOccupancy.size());
+    for (std::size_t i = 0; i < a.tenantOccupancy.size(); ++i) {
+        const auto &ta = a.tenantOccupancy[i];
+        const auto &tb = b.tenantOccupancy[i];
+        EXPECT_EQ(ta.tenant, tb.tenant);
+        EXPECT_EQ(ta.admittedRequests, tb.admittedRequests);
+        EXPECT_EQ(ta.avgTokenShare, tb.avgTokenShare);
+        EXPECT_EQ(ta.peakTokenShare, tb.peakTokenShare);
+    }
+}
+
+// --- (a) 1-replica fleet == bare engine. -------------------------------
+
+TEST(FleetEngine, OneReplicaZeroLookaheadMatchesBareEngine)
+{
+    auto model = testModel();
+    auto cluster = testCluster(model);
+    auto trace = testTrace(48, 24.0, 11);
+
+    auto bare =
+        ServingEngine(cluster, model, trace, testEngineOptions()).run();
+
+    FleetOptions fopts;
+    fopts.replicas = 1;
+    fopts.dispatchLatencySeconds = 0.0;
+    fopts.engine = testEngineOptions();
+    auto fleet = FleetEngine(cluster, model, trace, fopts).run();
+
+    ASSERT_EQ(fleet.replicas.size(), 1u);
+    EXPECT_EQ(fleet.routedRequests[0], trace.size());
+    ASSERT_GT(bare.completedRequests, 0u);
+    expectSameResult(fleet.replicas[0], bare);
+    // With one replica the aggregate inherits the replica's metrics.
+    expectSameResult(fleet.aggregate, bare);
+}
+
+TEST(FleetEngine, OneReplicaLookaheadMatchesShiftedBareEngine)
+{
+    auto model = testModel();
+    auto cluster = testCluster(model);
+    auto trace = testTrace(48, 24.0, 12);
+    const double d = 0.005;
+
+    // The dispatch latency delays every arrival by d; a bare engine
+    // fed the shifted trace must observe the identical simulation.
+    auto shifted = trace;
+    for (auto &t : shifted)
+        t.arrivalSeconds += d;
+    auto bare =
+        ServingEngine(cluster, model, shifted, testEngineOptions())
+            .run();
+
+    FleetOptions fopts;
+    fopts.replicas = 1;
+    fopts.dispatchLatencySeconds = d;
+    fopts.engine = testEngineOptions();
+    auto fleet = FleetEngine(cluster, model, trace, fopts).run();
+
+    ASSERT_EQ(fleet.replicas.size(), 1u);
+    ASSERT_GT(bare.completedRequests, 0u);
+    expectSameResult(fleet.replicas[0], bare);
+}
+
+// --- (b) Parallel == serial. -------------------------------------------
+
+TEST(FleetEngine, ParallelAdvanceMatchesSerialBothPolicies)
+{
+    auto model = testModel();
+    auto cluster = testCluster(model);
+    auto trace = testTrace(64, 48.0, 13);
+
+    for (RoutePolicy policy :
+         {RoutePolicy::RoundRobin, RoutePolicy::LeastLoaded}) {
+        FleetOptions fopts;
+        fopts.replicas = 4;
+        fopts.policy = policy;
+        fopts.dispatchLatencySeconds = 0.004;
+        fopts.engine = testEngineOptions();
+
+        fopts.threads = 1;
+        auto serial = FleetEngine(cluster, model, trace, fopts).run();
+        fopts.threads = 4;
+        auto parallel = FleetEngine(cluster, model, trace, fopts).run();
+
+        EXPECT_EQ(serial.windows, parallel.windows);
+        EXPECT_EQ(serial.routedRequests, parallel.routedRequests);
+        ASSERT_EQ(serial.replicas.size(), parallel.replicas.size());
+        for (std::size_t i = 0; i < serial.replicas.size(); ++i)
+            expectSameResult(serial.replicas[i], parallel.replicas[i]);
+        expectSameResult(serial.aggregate, parallel.aggregate);
+        EXPECT_EQ(serial.aggregate.completedRequests, trace.size());
+    }
+}
+
+// --- (c) Zero-lookahead lockstep is thread-independent. ----------------
+
+TEST(FleetEngine, ZeroLookaheadLockstepIgnoresThreadCount)
+{
+    auto model = testModel();
+    auto cluster = testCluster(model);
+    auto trace = testTrace(32, 32.0, 14);
+
+    FleetOptions fopts;
+    fopts.replicas = 3;
+    fopts.policy = RoutePolicy::LeastLoaded;
+    fopts.dispatchLatencySeconds = 0.0;
+    fopts.engine = testEngineOptions();
+
+    fopts.threads = 1;
+    auto serial = FleetEngine(cluster, model, trace, fopts).run();
+    fopts.threads = 4;
+    auto pooled = FleetEngine(cluster, model, trace, fopts).run();
+
+    EXPECT_EQ(serial.windows, pooled.windows);
+    EXPECT_EQ(serial.routedRequests, pooled.routedRequests);
+    for (std::size_t i = 0; i < serial.replicas.size(); ++i)
+        expectSameResult(serial.replicas[i], pooled.replicas[i]);
+}
+
+// --- (d) Window-protocol edges. ----------------------------------------
+
+TEST(FleetEngine, ReplicaIdleAcrossManyWindowsStaysCorrect)
+{
+    auto model = testModel();
+    auto cluster = testCluster(model);
+
+    // Three requests spaced hundreds of windows apart under
+    // round-robin: replica 1 receives one early request and then
+    // idles across many barriers while replica 0 keeps working.
+    std::vector<Request> reqs = {{0, 2000, 16}, {1, 2000, 16},
+                                 {2, 2000, 16}};
+    std::vector<TimedRequest> trace = {{reqs[0], 0.01},
+                                       {reqs[1], 0.5},
+                                       {reqs[2], 1.0}};
+
+    FleetOptions fopts;
+    fopts.replicas = 2;
+    fopts.policy = RoutePolicy::RoundRobin;
+    fopts.dispatchLatencySeconds = 0.002;
+    fopts.engine = testEngineOptions();
+    auto fleet = FleetEngine(cluster, model, trace, fopts).run();
+
+    // Router-idle barriers between the spaced arrivals are skipped,
+    // so the sync-round count is one per routing barrier plus the
+    // final drain — not the ~500 barriers of simulated time the
+    // last arrival crosses.
+    EXPECT_GE(fleet.windows, 4u);
+    EXPECT_LE(fleet.windows, 8u);
+    EXPECT_EQ(fleet.aggregate.completedRequests, 3u);
+    EXPECT_EQ(fleet.routedRequests[0], 2u);
+    EXPECT_EQ(fleet.routedRequests[1], 1u);
+    EXPECT_EQ(fleet.replicas[0].completedRequests, 2u);
+    EXPECT_EQ(fleet.replicas[1].completedRequests, 1u);
+}
+
+TEST(FleetEngine, ArrivalExactlyOnWindowBoundaryRoutesInclusive)
+{
+    auto model = testModel();
+    auto cluster = testCluster(model);
+    const double w = 0.25; // exactly representable: barriers are exact
+
+    // Arrivals landing exactly on barrier times k * w. The routing
+    // bound is inclusive (t <= B_j), so each routes at its own
+    // barrier and is delivered at t + w — which a bare engine fed
+    // the shifted trace reproduces exactly.
+    std::vector<Request> reqs = {{0, 2000, 16}, {1, 2000, 16},
+                                 {2, 2000, 16}};
+    std::vector<TimedRequest> trace = {{reqs[0], 0.0},
+                                       {reqs[1], w},
+                                       {reqs[2], 2 * w}};
+
+    auto shifted = trace;
+    for (auto &t : shifted)
+        t.arrivalSeconds += w;
+    auto bare =
+        ServingEngine(cluster, model, shifted, testEngineOptions())
+            .run();
+
+    FleetOptions fopts;
+    fopts.replicas = 1;
+    fopts.dispatchLatencySeconds = w;
+    fopts.engine = testEngineOptions();
+    auto fleet = FleetEngine(cluster, model, trace, fopts).run();
+
+    EXPECT_EQ(fleet.aggregate.completedRequests, 3u);
+    expectSameResult(fleet.replicas[0], bare);
+}
+
+// --- Roll-up sanity. ---------------------------------------------------
+
+TEST(FleetEngine, AggregateSumsAndBoundsPerReplicaResults)
+{
+    auto model = testModel();
+    auto cluster = testCluster(model);
+    auto trace = testTrace(64, 48.0, 15);
+
+    FleetOptions fopts;
+    fopts.replicas = 4;
+    fopts.policy = RoutePolicy::LeastLoaded;
+    fopts.dispatchLatencySeconds = 0.004;
+    fopts.engine = testEngineOptions();
+    auto fleet = FleetEngine(cluster, model, trace, fopts).run();
+
+    std::uint64_t tokens = 0, completed = 0, events = 0, routed = 0;
+    double max_sec = 0.0;
+    for (const auto &r : fleet.replicas) {
+        tokens += r.generatedTokens;
+        completed += r.completedRequests;
+        events += r.simEvents;
+        max_sec = std::max(max_sec, r.simulatedSeconds);
+    }
+    for (std::uint64_t n : fleet.routedRequests)
+        routed += n;
+    EXPECT_EQ(routed, trace.size());
+    EXPECT_EQ(fleet.aggregate.generatedTokens, tokens);
+    EXPECT_EQ(fleet.aggregate.completedRequests, completed);
+    EXPECT_EQ(fleet.aggregate.simEvents, events);
+    EXPECT_EQ(fleet.aggregate.simulatedSeconds, max_sec);
+    ASSERT_GT(max_sec, 0.0);
+    EXPECT_EQ(fleet.aggregate.tokensPerSecond,
+              static_cast<double>(tokens) / max_sec);
+    // Least-loaded routing spreads work: every replica serves some.
+    for (std::uint64_t n : fleet.routedRequests)
+        EXPECT_GT(n, 0u);
+}
+
+} // namespace
+} // namespace pimphony

@@ -90,6 +90,70 @@ TEST(EventQueue, FifoTiesUnderPooledEvents)
     EXPECT_EQ(q.dispatched(), 35u);
 }
 
+TEST(EventQueue, RunUntilHorizonIsInclusive)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&](double) { order.push_back(1); });
+    q.schedule(2.0, [&](double) { order.push_back(2); });
+    q.schedule(3.0, [&](double) { order.push_back(3); });
+    q.runUntil(2.0); // inclusive: dispatches 1.0 and 2.0
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.pending(), 1u);
+    // now() stays at the last dispatched event, not the horizon, so
+    // a schedule() between windows is never clamped forward.
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);
+    q.runUntil(2.5); // nothing at or before 2.5 remains
+    EXPECT_EQ(q.pending(), 1u);
+    q.runUntil(3.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InterleavedRunUntilMatchesRunAll)
+{
+    // Chained events (each schedules the next) dispatched through a
+    // sequence of increasing horizons must replay exactly the
+    // runAll() order — the property the fleet's conservative
+    // windows rely on.
+    auto build = [](sim::EventQueue &q, std::vector<double> &times) {
+        for (int i = 0; i < 4; ++i) {
+            double t = 0.3 * i;
+            q.schedule(t, [&q, &times, t](double now) {
+                times.push_back(now);
+                q.schedule(t + 0.45, [&times](double inner) {
+                    times.push_back(inner);
+                });
+            });
+        }
+    };
+    sim::EventQueue serial;
+    std::vector<double> serial_times;
+    build(serial, serial_times);
+    serial.runAll();
+
+    sim::EventQueue windowed;
+    std::vector<double> windowed_times;
+    build(windowed, windowed_times);
+    for (double h = 0.25; !windowed.empty(); h += 0.25)
+        windowed.runUntil(h);
+    EXPECT_EQ(windowed_times, serial_times);
+    EXPECT_EQ(windowed.dispatched(), serial.dispatched());
+}
+
+TEST(EventQueue, RunUntilOnEmptyQueueIsANoOp)
+{
+    sim::EventQueue q;
+    q.runUntil(5.0);
+    EXPECT_TRUE(q.empty());
+    EXPECT_DOUBLE_EQ(q.now(), 0.0);
+    // A pre-horizon queue is untouched by an earlier horizon.
+    q.schedule(10.0, [](double) {});
+    q.runUntil(5.0);
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.dispatched(), 0u);
+}
+
 TEST(SmallFn, InlineCallbacksNeverTouchTheHeap)
 {
     std::uint64_t before = sim::smallFnHeapAllocs();
