@@ -20,6 +20,7 @@
 
 #include "system/sched_policy.hh"
 #include "workload/arrival.hh"
+#include "workload/arrival_process.hh"
 #include "workload/request_class.hh"
 
 using namespace pimphony;
@@ -40,8 +41,24 @@ sweep(std::size_t n_requests, Tokens decode, Tokens chunk,
     printBanner(std::cout,
                 "Per-request SLO classes, xPU+PIM, LLM-7B-128K-GQA");
     std::cout << n_requests << " requests, " << decode
-              << " decode tokens, chunk " << chunk
-              << " tok, on/off burst arrivals, PP=2\n";
+              << " decode tokens, chunk " << chunk << " tok, "
+              << (args.rateCurve.empty()
+                      ? "on/off burst arrivals"
+                      : "diurnal rate-curve arrivals")
+              << ", PP=2\n";
+
+    // --rate-curve: the profile is normalized to mean 1 and scaled
+    // by each cell's rate, so the grid's rate axis keeps its meaning
+    // (the long-run average) while the shape replays the profile.
+    RateCurve profile;
+    if (!args.rateCurve.empty()) {
+        profile = RateCurve::fromRates(args.rateCurve, 30.0);
+        double mean = profile.meanRate();
+        if (mean <= 0.0)
+            fatal("--rate-curve needs a positive mean rate");
+        for (auto &seg : profile.segments)
+            seg.ratePerSecond /= mean;
+    }
 
     RequestClass interactive;
     interactive.tier = 0;
@@ -86,12 +103,21 @@ sweep(std::size_t n_requests, Tokens decode, Tokens chunk,
             r.cls = id < n_tier0 ? interactive : batch;
             reqs.push_back(r);
         }
-        OnOffTraffic traffic;
-        traffic.onRate = c.rate * 3.0;
-        traffic.offRate = 0.0;
-        traffic.meanOnSeconds = 1.0;
-        traffic.meanOffSeconds = 2.0;
-        auto timed = onOffArrivals(reqs, traffic, 17);
+        std::vector<TimedRequest> timed;
+        if (!args.rateCurve.empty()) {
+            RateCurve curve = profile;
+            for (auto &seg : curve.segments)
+                seg.ratePerSecond *= c.rate;
+            PiecewiseRateCurve process(curve);
+            timed = attachArrivals(reqs, process, 17);
+        } else {
+            OnOffTraffic traffic;
+            traffic.onRate = c.rate * 3.0;
+            traffic.offRate = 0.0;
+            traffic.meanOnSeconds = 1.0;
+            traffic.meanOffSeconds = 2.0;
+            timed = onOffArrivals(reqs, traffic, 17);
+        }
         EngineOptions opts;
         opts.allocator = AllocatorKind::LazyChunk;
         opts.stepModel = StepModel::EventDriven;
@@ -129,6 +155,10 @@ sweep(std::size_t n_requests, Tokens decode, Tokens chunk,
             json.field("rate_rps", c.rate);
             json.field("tier0_frac", c.frac);
             json.field("policy", schedPolicyName(c.kind));
+            if (!args.rateCurve.empty())
+                json.field("rate_curve_segments",
+                           static_cast<std::uint64_t>(
+                               args.rateCurve.size()));
             json.field("tokens_per_second", r.tokensPerSecond);
             json.field("tier0_gap_p95_s", t0_gap);
             json.field("tier1_gap_p95_s", t1_gap);
@@ -167,7 +197,8 @@ main(int argc, char **argv)
     bench::QuietLogs quiet;
     bench::BenchArgs args = bench::parseBenchArgs(
         argc, argv,
-        "per-request SLO class sweep (tier mix x rate x context)");
+        "per-request SLO class sweep (tier mix x rate x context)",
+        bench::kRateCurveFlag);
     if (args.smoke)
         sweep(8, 16, 2048, {0.5}, {1.5}, {30000}, args);
     else

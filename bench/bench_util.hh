@@ -48,6 +48,33 @@ struct BenchArgs
      * hardware threads.
      */
     unsigned threads = 1;
+
+    // --- Workload-realism flags. Only benches that opt in via the
+    // --- parseBenchArgs workload_flags mask accept them; everywhere
+    // --- else they stay unknown flags (exit 2). -------------------
+
+    /** --trace=PATH: replay a saved workload instead of generating
+     *  (kTraceFlags). Empty = generate. */
+    std::string tracePath;
+
+    /** --save-trace[=PATH]: save the generated workload for replay
+     *  (kTraceFlags). Empty = don't save. */
+    std::string saveTracePath;
+
+    /** --rate-curve=R1,R2,...: diurnal arrival-rate profile in
+     *  requests/second (kRateCurveFlag). Empty = bench default. */
+    std::vector<double> rateCurve;
+};
+
+/** Opt-in masks for parseBenchArgs' workload flags. */
+enum WorkloadFlag : unsigned {
+    kNoWorkloadFlags = 0,
+
+    /** Accept --trace=PATH and --save-trace[=PATH]. */
+    kTraceFlags = 1u << 0,
+
+    /** Accept --rate-curve=R1,R2,... */
+    kRateCurveFlag = 1u << 1,
 };
 
 /**
@@ -58,9 +85,15 @@ struct BenchArgs
  * threads, default PIMPHONY_THREADS else 1), and --help, and fails
  * loudly — usage on stderr, exit 2 — on anything else, so a typo'd
  * flag cannot silently run the full sweep in CI.
+ *
+ * @p workload_flags opts the bench into the workload-realism flags
+ * (WorkloadFlag mask): kTraceFlags adds --trace=PATH /
+ * --save-trace[=PATH] (workload/replay.hh round trip), kRateCurveFlag
+ * adds --rate-curve=R1,R2,... (a diurnal PiecewiseRateCurve profile).
  */
 inline BenchArgs
-parseBenchArgs(int argc, char **argv, const char *description)
+parseBenchArgs(int argc, char **argv, const char *description,
+               unsigned workload_flags = kNoWorkloadFlags)
 {
     BenchArgs out;
     out.threads = SweepRunner::defaultThreads();
@@ -72,6 +105,7 @@ parseBenchArgs(int argc, char **argv, const char *description)
     if (name.rfind("bench_", 0) == 0)
         name = name.substr(6);
     out.jsonPath = "BENCH_" + name + ".json";
+    std::string default_trace = "TRACE_" + name + ".json";
     auto parse_threads = [&](const std::string &value) {
         char *end = nullptr;
         unsigned long v = std::strtoul(value.c_str(), &end, 10);
@@ -83,10 +117,44 @@ parseBenchArgs(int argc, char **argv, const char *description)
         out.threads = v == 0 ? SweepRunner::hardwareThreads()
                              : static_cast<unsigned>(v);
     };
+    auto parse_rates = [&](const std::string &value) {
+        out.rateCurve.clear();
+        const char *p = value.c_str();
+        for (;;) {
+            char *end = nullptr;
+            double v = std::strtod(p, &end);
+            if (end == p || v < 0.0) {
+                std::cerr << prog << ": bad --rate-curve value '"
+                          << value << "'\n";
+                std::exit(2);
+            }
+            out.rateCurve.push_back(v);
+            if (*end == '\0')
+                break;
+            if (*end != ',') {
+                std::cerr << prog << ": bad --rate-curve value '"
+                          << value << "'\n";
+                std::exit(2);
+            }
+            p = end + 1;
+        }
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--smoke") {
             out.smoke = true;
+        } else if ((workload_flags & kTraceFlags) &&
+                   arg.rfind("--trace=", 0) == 0) {
+            out.tracePath = arg.substr(8);
+        } else if ((workload_flags & kTraceFlags) &&
+                   arg == "--save-trace") {
+            out.saveTracePath = default_trace;
+        } else if ((workload_flags & kTraceFlags) &&
+                   arg.rfind("--save-trace=", 0) == 0) {
+            out.saveTracePath = arg.substr(13);
+        } else if ((workload_flags & kRateCurveFlag) &&
+                   arg.rfind("--rate-curve=", 0) == 0) {
+            parse_rates(arg.substr(13));
         } else if (arg == "--json") {
             out.json = true;
         } else if (arg.rfind("--json=", 0) == 0) {
@@ -112,8 +180,20 @@ parseBenchArgs(int argc, char **argv, const char *description)
                          "                 Rows are emitted in "
                          "submission order and stay\n"
                          "                 bit-identical to a serial "
-                         "run.\n"
-                      << "  --help         this message\n";
+                         "run.\n";
+            if (workload_flags & kTraceFlags)
+                std::cout
+                    << "  --trace=PATH   replay a saved workload "
+                       "instead of generating\n"
+                    << "  --save-trace[=PATH]\n"
+                       "                 save the generated workload "
+                       "(default " << default_trace << ")\n";
+            if (workload_flags & kRateCurveFlag)
+                std::cout
+                    << "  --rate-curve=R1,R2,...\n"
+                       "                 diurnal arrival-rate profile "
+                       "(req/s per segment)\n";
+            std::cout << "  --help         this message\n";
             std::exit(0);
         } else {
             std::cerr << prog << ": unknown flag '" << arg << "'\n"

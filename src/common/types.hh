@@ -22,6 +22,12 @@ using Bytes = std::uint64_t;
 /** Identifier for a serving request. */
 using RequestId = std::uint32_t;
 
+/** Identifier for a multi-turn serving session. */
+using SessionId = std::uint32_t;
+
+/** Sentinel meaning "not part of a session" (Request::session). */
+inline constexpr SessionId kNoSession = 0;
+
 /** Identifier for a PIM channel within a module. */
 using ChannelId = std::uint32_t;
 

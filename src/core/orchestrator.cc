@@ -49,13 +49,11 @@ PimphonyOrchestrator::runPlan(const std::vector<Request> &requests,
     ClusterConfig c = cluster();
     c.plan = plan;
     EngineOptions opts;
+    // The shared serving knobs travel as one block (the
+    // ServingOptions base both structs embed).
+    static_cast<ServingOptions &>(opts) = config_;
     opts.allocator = config_.options.dpa ? AllocatorKind::LazyChunk
                                          : AllocatorKind::Static;
-    opts.stepModel = config_.stepModel;
-    opts.prefillChunkTokens = config_.prefillChunkTokens;
-    opts.chargePrefill = config_.chargePrefill;
-    opts.sched = config_.sched;
-    opts.tenantBudgets = config_.tenantBudgets;
     opts.maxSteps = config_.maxSteps;
     ServingEngine engine(c, config_.model, requests, opts);
     EvaluationResult out;

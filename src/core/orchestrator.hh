@@ -20,7 +20,15 @@
 
 namespace pimphony {
 
-struct OrchestratorConfig
+/**
+ * Top-level evaluation configuration. The serving knobs shared with
+ * the engine (stepModel, prefillChunkTokens, chargePrefill, sched,
+ * tenantBudgets) live in the ServingOptions base —
+ * system/serving_options.hh documents them — and are forwarded to
+ * EngineOptions wholesale at runPlan time, so a new serving knob is
+ * added in exactly one place.
+ */
+struct OrchestratorConfig : ServingOptions
 {
     SystemKind system = SystemKind::PimOnly;
     LlmConfig model = LlmConfig::llm7b(false);
@@ -28,37 +36,6 @@ struct OrchestratorConfig
 
     /** Fixed plan; tp = 0 requests an automatic TP/PP search. */
     ParallelPlan plan{0, 0};
-
-    /** Serving-time composition model (see StepModel). */
-    StepModel stepModel = StepModel::EventDriven;
-
-    /**
-     * Context tokens per prefill chunk (see
-     * EngineOptions::prefillChunkTokens): > 0 runs prefill as
-     * chunked pipeline work on the xPU stage timelines under the
-     * event-driven model; 0 keeps prefill off the clock unless
-     * @ref chargePrefill is set.
-     */
-    Tokens prefillChunkTokens = 0;
-
-    /** Charge scalar prefill time at admission (see EngineOptions). */
-    bool chargePrefill = false;
-
-    /**
-     * Prefill/decode co-scheduling policy (see
-     * EngineOptions::sched): arbitration of the per-stage xPU
-     * timelines between prefill chunks and decode FC shares, and the
-     * SLO-aware admission gate. FIFO by default; event-driven model
-     * only.
-     */
-    SchedPolicyConfig sched;
-
-    /**
-     * Per-tenant admission budgets (see EngineOptions::tenantBudgets
-     * and TenantBudget): token-capacity shares with work-conserving
-     * borrowing. Empty disables tenant accounting.
-     */
-    std::vector<TenantBudget> tenantBudgets;
 
     /** Module-count override (0 = the preset's deployment size). */
     unsigned modulesOverride = 0;

@@ -15,16 +15,6 @@
 
 namespace pimphony {
 
-std::string
-stepModelName(StepModel model)
-{
-    switch (model) {
-      case StepModel::Analytic:    return "analytic";
-      case StepModel::EventDriven: return "event-driven";
-    }
-    return "?";
-}
-
 /** One in-flight decode cohort (micro-batch) of the event core. */
 struct ServingEngine::EventCohort
 {
@@ -127,6 +117,7 @@ ServingEngine::ServingEngine(const ClusterConfig &cluster,
     firstTokenLatencies_.reserve(requests.size());
     tokenGaps_.reserve(total_decode);
     result_.firstTokenLatency.reserve(requests.size());
+    result_.completionSeconds.reserve(requests.size());
     for (auto &r : requests)
         pending_.push_back(r);
 
@@ -358,6 +349,10 @@ ServingEngine::advanceMember(Active &a, double completion_clock,
         if (classesActive_)
             ++tiers_[a.request.cls.tier].completed;
         latencies_.push_back(completion_clock - a.arrival);
+        result_.completionSeconds.emplace(a.request.id,
+                                          completion_clock);
+        if (sessionsActive_)
+            releaseNextTurn(a.request.id, completion_clock);
         return false;
     }
     return true;
@@ -1152,6 +1147,7 @@ ServingEngine::declareWorkload(const std::vector<TimedRequest> &trace)
 {
     if (ev_)
         fatal("ServingEngine::declareWorkload() after prepare()");
+    requireSortedByArrival(trace, "ServingEngine::declareWorkload");
     // The constructor's activation scan, over a trace whose requests
     // arrive later through injectArrivals: flip the class/tenant
     // machinery on and fix per-tier SLO targets before prepare()
@@ -1182,6 +1178,71 @@ ServingEngine::declareWorkload(const std::vector<TimedRequest> &trace)
     if (tenantsActive_)
         for (const auto &timed : trace)
             (void)tenantState(timed.request.cls.tenant);
+}
+
+void
+ServingEngine::declareSessionTurns(const SessionBook &sessions)
+{
+    if (options_.stepModel != StepModel::EventDriven)
+        fatal("ServingEngine::declareSessionTurns(): closed-loop "
+              "turn release requires the event-driven step model");
+    if (ev_)
+        fatal("ServingEngine::declareSessionTurns() after prepare()");
+    // Successor turns join the class/tenant declaration exactly as a
+    // declared open-loop trace would (tier targets fixed before
+    // prepare() allocates the windows). Scan in ascending key order
+    // so the first-target-wins rule is independent of the book's
+    // bucket layout.
+    std::vector<RequestId> keys;
+    keys.reserve(sessions.size());
+    for (const auto &kv : sessions) {
+        if (kv.second.thinkSeconds < 0.0)
+            fatal("session think times must be nonnegative");
+        keys.push_back(kv.first);
+    }
+    std::sort(keys.begin(), keys.end());
+    std::vector<TimedRequest> decl;
+    decl.reserve(keys.size());
+    for (RequestId key : keys) {
+        const SessionTurn &turn = sessions.at(key);
+        decl.push_back({turn.request, 0.0});
+        if (!sessions_.emplace(key, turn).second)
+            fatal("request %u already has a declared successor",
+                  key);
+    }
+    declareWorkload(decl);
+    sessionsActive_ = !sessions_.empty();
+}
+
+void
+ServingEngine::releaseNextTurn(RequestId completed, double now)
+{
+    auto it = sessions_.find(completed);
+    if (it == sessions_.end())
+        return;
+    TimedRequest next{it->second.request,
+                      now + it->second.thinkSeconds};
+    sessions_.erase(it);
+    registerInjected(next);
+    // The release gets its own event rather than joining the
+    // pending-arrival chain: a release often lands earlier than the
+    // armed head arrival, and re-arming would leave a stale no-op
+    // event behind whose count depends on how much of the trace the
+    // caller has delivered — breaking the bare-vs-windowed simEvents
+    // parity the fleet contract asserts. One event per release keeps
+    // both runs identical. The release time is at or after the
+    // current event time, so the conservative-ordering contract
+    // holds by construction — including inside a fleet window, where
+    // the successor lands on the replica that completed its
+    // predecessor (natural session stickiness) without crossing the
+    // window barrier protocol.
+    EventRun &ev = *ev_;
+    ev.queue.schedule(next.arrivalSeconds, [this, next](double t) {
+        EventRun &run = *ev_;
+        evAccountTo(t);
+        run.arrived.push_back(next);
+        evFormNewCohorts(t);
+    });
 }
 
 void
@@ -1217,6 +1278,7 @@ ServingEngine::injectArrivals(const std::vector<TimedRequest> &batch)
         fatal("ServingEngine::injectArrivals() before prepare()");
     if (ev_->finalized)
         fatal("ServingEngine::injectArrivals() after finalize()");
+    requireSortedByArrival(batch, "ServingEngine::injectArrivals");
     EventRun &ev = *ev_;
     bool immediate = false;
     for (const TimedRequest &timed : batch) {

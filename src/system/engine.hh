@@ -45,87 +45,26 @@
 #include "mapping/partition.hh"
 #include "system/cluster.hh"
 #include "system/sched_policy.hh"
+#include "system/serving_options.hh"
 #include "workload/arrival.hh"
 #include "workload/request_class.hh"
+#include "workload/session.hh"
 #include "workload/trace.hh"
 
 namespace pimphony {
 
-/** How the engine composes device time into serving time. */
-enum class StepModel {
-    /** Closed-form lockstep steps: stageBeats * max_stage_sec. */
-    Analytic,
-
-    /** Event-driven cohort pipeline on the sim core (default). */
-    EventDriven,
-};
-
-std::string stepModelName(StepModel model);
-
 /**
- * Admission budget of one tenant: a guaranteed share of the KV token
- * capacity. A tenant may always admit up to share * capacityTokens
- * of reserved decode trajectories; beyond that it *borrows* — and
- * borrowing is allowed only while no other tenant has an
- * under-budget ("entitled") request waiting, so a saturating tenant
- * can use an idle tenant's headroom (work conserving) but can never
- * hold an active tenant below its guarantee as admissions churn.
- * Tenants without a configured budget are borrow-only.
+ * Engine-level knob set: the shared serving options (step model,
+ * prefill chunking, co-scheduling policy, tenant budgets — see
+ * system/serving_options.hh) plus the engine's own allocator choice
+ * and safety cap.
  */
-struct TenantBudget
-{
-    unsigned tenant = 0;
-
-    /** Guaranteed fraction of the KV token capacity, in [0, 1]. */
-    double share = 0.0;
-};
-
-struct EngineOptions
+struct EngineOptions : ServingOptions
 {
     AllocatorKind allocator = AllocatorKind::Static;
 
-    StepModel stepModel = StepModel::EventDriven;
-
     /** Cap on simulated decode steps / cohort cycles (safety valve). */
     std::uint64_t maxSteps = 200000;
-
-    /**
-     * Charge prefill compute time when a request is admitted
-     * (extension; the paper's evaluation, like ours by default,
-     * reports decode throughput).
-     */
-    bool chargePrefill = false;
-
-    /**
-     * Context tokens per prefill chunk. When > 0 under the
-     * event-driven model, admitted requests prefill as chunked work
-     * items on the xPU stage timelines (continuous prefill/decode
-     * batching) instead of a scalar time charge; smaller chunks
-     * interleave more finely with decode at the cost of more
-     * hand-offs. Under the analytic model a positive value falls
-     * back to the scalar charge (chargePrefill semantics) so the two
-     * models stay comparable. 0 disables chunking.
-     */
-    Tokens prefillChunkTokens = 0;
-
-    /**
-     * Prefill/decode co-scheduling policy for the per-stage xPU
-     * timelines (and the admission gate). Defaults to FIFO — the
-     * PR 2 behavior, bit for bit. Policies act under the
-     * event-driven model only; the analytic model has no per-item
-     * timeline to arbitrate and ignores them.
-     */
-    SchedPolicyConfig sched;
-
-    /**
-     * Per-tenant admission budgets (token-capacity shares with
-     * work-conserving borrowing; see TenantBudget). Empty — the
-     * default — disables tenant accounting entirely: admission is
-     * the plain FIFO queue, bit for bit. With budgets set, admission
-     * scans past budget-blocked requests so one saturating tenant
-     * cannot head-of-line block the others.
-     */
-    std::vector<TenantBudget> tenantBudgets;
 };
 
 struct EngineResult
@@ -173,6 +112,14 @@ struct EngineResult
 
     /** Per-request TTFT, keyed by request id (first admission). */
     std::unordered_map<RequestId, double> firstTokenLatency;
+
+    /**
+     * Per-request completion time on the serving clock, keyed by
+     * request id. One entry per completed request (rejected requests
+     * never complete); the session tests read it to check that turn
+     * k+1 is released only after turn k completes.
+     */
+    std::unordered_map<RequestId, double> completionSeconds;
 
     // --- Co-scheduling policy metrics (event-driven model). ---------
 
@@ -311,6 +258,22 @@ class ServingEngine
      * an undeclared one.
      */
     void declareWorkload(const std::vector<TimedRequest> &trace);
+
+    /**
+     * Declare the closed-loop successor turns of a multi-turn
+     * workload (workload/session.hh): when the request keyed in
+     * @p sessions completes at time t, its successor turn is
+     * released as a fresh arrival at t + thinkSeconds — the
+     * dependency an open-loop trace cannot express. Event-driven
+     * model only; must run before prepare(). Calls accumulate.
+     *
+     * Semantics worth knowing: a rejected or never-completing
+     * predecessor keeps the rest of its session unreleased (the user
+     * never saw turn k's answer, so turn k+1 is never typed), and
+     * unreleased turns are invisible to queuedTokens() — the router
+     * load signal sees only work that has actually arrived.
+     */
+    void declareSessionTurns(const SessionBook &sessions);
 
     /**
      * Build the event-driven run state and schedule the initial
@@ -525,6 +488,14 @@ class ServingEngine
     /** Per-request class/tenant bookkeeping of a mid-run arrival. */
     void registerInjected(const TimedRequest &timed);
 
+    /**
+     * Release the successor turn of @p completed (if any) as an
+     * arrival at @p now + its think time. Called from
+     * advanceMember's completion branch; no-op for requests without
+     * a declared successor.
+     */
+    void releaseNextTurn(RequestId completed, double now);
+
     // --- Request-class / tenant-budget machinery (inactive — and
     // --- bit-transparent — when the workload is single-class and no
     // --- budgets are configured). -----------------------------------
@@ -597,6 +568,15 @@ class ServingEngine
     std::vector<double> latencies_;
     std::vector<double> firstTokenLatencies_;
     std::vector<double> tokenGaps_;
+
+    /**
+     * Declared-but-unreleased successor turns, keyed by the
+     * predecessor request id; entries are erased as they fire.
+     */
+    SessionBook sessions_;
+
+    /** declareSessionTurns() declared at least one successor. */
+    bool sessionsActive_ = false;
 
     /** Any request carries a non-default class (tiers in play). */
     bool classesActive_ = false;

@@ -42,18 +42,47 @@ FleetEngine::FleetEngine(const ClusterConfig &cluster,
 std::size_t
 FleetEngine::pickReplica(const TimedRequest &timed)
 {
-    if (options_.policy == RoutePolicy::RoundRobin) {
-        std::size_t r = rrNext_;
-        rrNext_ = (rrNext_ + 1) % options_.replicas;
-        return r;
+    // Session stickiness precedes policy: a session's later requests
+    // follow the replica its first one was routed to, so one
+    // conversation's KV history never splits across replicas.
+    SessionId session = timed.request.session;
+    if (session != kNoSession) {
+        auto it = sessionReplica_.find(session);
+        if (it != sessionReplica_.end()) {
+            // Keep the least-loaded signal honest for the requests
+            // the pin bypasses the policy for.
+            if (options_.policy == RoutePolicy::LeastLoaded)
+                loads_[it->second] += static_cast<double>(
+                    timed.request.contextTokens +
+                    timed.request.decodeTokens);
+            return it->second;
+        }
     }
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < loads_.size(); ++i)
-        if (loads_[i] < loads_[best])
-            best = i;
-    loads_[best] += static_cast<double>(timed.request.contextTokens +
-                                        timed.request.decodeTokens);
-    return best;
+    std::size_t pick;
+    if (options_.policy == RoutePolicy::RoundRobin) {
+        pick = rrNext_;
+        rrNext_ = (rrNext_ + 1) % options_.replicas;
+    } else {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < loads_.size(); ++i)
+            if (loads_[i] < loads_[best])
+                best = i;
+        loads_[best] +=
+            static_cast<double>(timed.request.contextTokens +
+                                timed.request.decodeTokens);
+        pick = best;
+    }
+    if (session != kNoSession)
+        sessionReplica_.emplace(session, pick);
+    return pick;
+}
+
+void
+FleetEngine::setSessions(SessionBook sessions)
+{
+    if (ran_)
+        fatal("FleetEngine::setSessions() after run()");
+    sessions_ = std::move(sessions);
 }
 
 FleetResult
@@ -77,12 +106,18 @@ FleetEngine::run()
         // constructor, even though it will receive only a routed
         // subset.
         eng->declareWorkload(trace_);
+        // Likewise the full session book: a successor turn fires
+        // only on the replica that completes its predecessor, so a
+        // session's turns chain wherever its turn 0 was routed.
+        if (!sessions_.empty())
+            eng->declareSessionTurns(sessions_);
         eng->prepare();
         engines.push_back(std::move(eng));
     }
 
     FleetResult fleet;
     fleet.routedRequests.assign(R, 0);
+    fleet.routedSessions.assign(R, 0);
     loads_.assign(R, 0.0);
 
     std::vector<std::vector<TimedRequest>> batches(R);
@@ -186,6 +221,8 @@ FleetEngine::run()
     for (auto &eng : engines)
         fleet.replicas.push_back(eng->finalize());
     fleet.aggregate = aggregateResults(fleet.replicas);
+    for (const auto &kv : sessionReplica_)
+        ++fleet.routedSessions[kv.second];
     return fleet;
 }
 
@@ -270,6 +307,8 @@ FleetEngine::aggregateResults(const std::vector<EngineResult> &results)
 
         for (const auto &kv : r.firstTokenLatency)
             agg.firstTokenLatency[kv.first] = kv.second;
+        for (const auto &kv : r.completionSeconds)
+            agg.completionSeconds[kv.first] = kv.second;
 
         for (const auto &cl : r.classLatencies) {
             ClassAccum &ca = classes[cl.tier];

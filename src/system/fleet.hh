@@ -33,10 +33,12 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "system/engine.hh"
 #include "workload/arrival.hh"
+#include "workload/session.hh"
 
 namespace pimphony {
 
@@ -105,6 +107,14 @@ struct FleetResult
     std::vector<std::uint64_t> routedRequests;
 
     /**
+     * Distinct sessions pinned to each replica, in replica index
+     * order (all zeros for a session-free trace). A session counts
+     * toward the replica its first-routed turn landed on; later
+     * turns follow the pin.
+     */
+    std::vector<std::uint64_t> routedSessions;
+
+    /**
      * Synchronization rounds executed: parallel window advances
      * under positive lookahead, per-arrival-time lockstep barriers
      * under zero lookahead, plus the final drain in both modes.
@@ -129,6 +139,18 @@ class FleetEngine
                 std::vector<TimedRequest> trace,
                 const FleetOptions &options);
 
+    /**
+     * Declare the closed-loop successor turns of the trace's
+     * sessions (workload/session.hh) before run(). Every replica
+     * learns the full book; a successor fires only on the replica
+     * that completes its predecessor, so a session's turns stay on
+     * the replica its turn 0 was routed to. The router additionally
+     * pins session identity (Request::session) at first sight: if a
+     * session somehow reappears in the open-loop trace, its later
+     * requests follow the pin rather than the policy.
+     */
+    void setSessions(SessionBook sessions);
+
     FleetResult run();
 
   private:
@@ -146,6 +168,12 @@ class FleetEngine
 
     /** Router load signal: queued tokens per replica (LeastLoaded). */
     std::vector<double> loads_;
+
+    /** Closed-loop successor turns declared to every replica. */
+    SessionBook sessions_;
+
+    /** Session -> replica pin, recorded at first routing. */
+    std::unordered_map<SessionId, std::size_t> sessionReplica_;
 
     std::size_t rrNext_ = 0;
     bool ran_ = false;

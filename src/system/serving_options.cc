@@ -1,0 +1,15 @@
+#include "system/serving_options.hh"
+
+namespace pimphony {
+
+std::string
+stepModelName(StepModel model)
+{
+    switch (model) {
+      case StepModel::Analytic:    return "analytic";
+      case StepModel::EventDriven: return "event-driven";
+    }
+    return "?";
+}
+
+} // namespace pimphony

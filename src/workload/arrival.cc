@@ -1,95 +1,38 @@
 #include "workload/arrival.hh"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/logging.hh"
+#include "workload/arrival_process.hh"
 
 namespace pimphony {
+
+// The three generators are thin wrappers over their ArrivalProcess
+// implementations (workload/arrival_process.hh) — same RNG draw
+// order, bit-identical output, asserted in tests/workload_test.cc.
 
 std::vector<TimedRequest>
 poissonArrivals(const std::vector<Request> &requests,
                 double rate_per_second, std::uint64_t seed)
 {
-    if (rate_per_second <= 0.0)
-        fatal("arrival rate must be positive");
-    Rng rng(seed);
-    std::vector<TimedRequest> out;
-    out.reserve(requests.size());
-    double t = 0.0;
-    for (const auto &r : requests) {
-        double u = rng.uniform();
-        if (u <= 0.0)
-            u = 1e-12;
-        t += -std::log(u) / rate_per_second;
-        out.push_back({r, t});
-    }
-    return out;
+    PoissonProcess process(rate_per_second);
+    return attachArrivals(requests, process, seed);
 }
 
 std::vector<TimedRequest>
 gammaArrivals(const std::vector<Request> &requests, double rate_per_second,
               double cv, std::uint64_t seed)
 {
-    if (rate_per_second <= 0.0)
-        fatal("arrival rate must be positive");
-    if (cv <= 0.0)
-        fatal("arrival CV must be positive");
-    // Gamma(k, theta): mean = k * theta = 1 / rate, CV = 1 / sqrt(k).
-    double shape = 1.0 / (cv * cv);
-    double scale = cv * cv / rate_per_second;
-    Rng rng(seed);
-    std::gamma_distribution<double> gap(shape, scale);
-    std::vector<TimedRequest> out;
-    out.reserve(requests.size());
-    double t = 0.0;
-    for (const auto &r : requests) {
-        t += gap(rng.engine());
-        out.push_back({r, t});
-    }
-    return out;
+    GammaProcess process(rate_per_second, cv);
+    return attachArrivals(requests, process, seed);
 }
 
 std::vector<TimedRequest>
 onOffArrivals(const std::vector<Request> &requests,
               const OnOffTraffic &traffic, std::uint64_t seed)
 {
-    if (traffic.onRate <= 0.0 && traffic.offRate <= 0.0)
-        fatal("on/off arrivals need a positive rate in some state");
-    if (traffic.meanOnSeconds <= 0.0 || traffic.meanOffSeconds <= 0.0)
-        fatal("on/off sojourn times must be positive");
-    Rng rng(seed);
-    auto expDraw = [&rng](double mean) {
-        double u = rng.uniform();
-        if (u <= 0.0)
-            u = 1e-12;
-        return -std::log(u) * mean;
-    };
-    std::vector<TimedRequest> out;
-    out.reserve(requests.size());
-    double t = 0.0;
-    bool on = true;
-    double state_end = expDraw(traffic.meanOnSeconds);
-    for (const auto &r : requests) {
-        for (;;) {
-            double rate = on ? traffic.onRate : traffic.offRate;
-            // Memoryless in both dimensions: redrawing the arrival
-            // gap after a state flip preserves the MMPP statistics.
-            if (rate > 0.0) {
-                double next = t + expDraw(1.0 / rate);
-                if (next <= state_end) {
-                    t = next;
-                    break;
-                }
-            }
-            t = state_end;
-            on = !on;
-            state_end = t + expDraw(on ? traffic.meanOnSeconds
-                                       : traffic.meanOffSeconds);
-        }
-        out.push_back({r, t});
-    }
-    return out;
+    OnOffProcess process(traffic);
+    return attachArrivals(requests, process, seed);
 }
 
 void
@@ -99,6 +42,19 @@ sortByArrival(std::vector<TimedRequest> &requests)
                      [](const TimedRequest &a, const TimedRequest &b) {
                          return a.arrivalSeconds < b.arrivalSeconds;
                      });
+}
+
+void
+requireSortedByArrival(const std::vector<TimedRequest> &requests,
+                       const char *context)
+{
+    for (std::size_t i = 1; i < requests.size(); ++i)
+        if (requests[i].arrivalSeconds <
+            requests[i - 1].arrivalSeconds)
+            fatal("%s: arrivals out of order at index %zu "
+                  "(%.17g after %.17g); sortByArrival() first",
+                  context, i, requests[i].arrivalSeconds,
+                  requests[i - 1].arrivalSeconds);
 }
 
 std::vector<TimedRequest>

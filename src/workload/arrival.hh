@@ -6,6 +6,13 @@
  * deployed long-context service sees requests arrive over time; the
  * Poisson process here lets the engine run open-loop and report
  * request latency percentiles in addition to throughput.
+ *
+ * Deprecation note: the free functions below are retained as thin,
+ * bit-identical wrappers over the ArrivalProcess implementations in
+ * workload/arrival_process.hh. New code should compose workloads
+ * through WorkloadSpec / buildWorkload() (workload/spec.hh), which
+ * also covers class mixes, sessions, and the diurnal rate curve the
+ * free functions cannot express.
  */
 
 #ifndef PIMPHONY_WORKLOAD_ARRIVAL_HH
@@ -84,6 +91,17 @@ immediateArrivals(const std::vector<Request> &requests);
  * hand-built traces may not.
  */
 void sortByArrival(std::vector<TimedRequest> &requests);
+
+/**
+ * Check the nondecreasing-arrival invariant sortByArrival
+ * establishes and fatal() with @p context on the first violation —
+ * the assert form of the sort, called where the serving engine
+ * consumes a trace (declareWorkload / injectArrivals) so a
+ * hand-built out-of-order trace fails loudly instead of silently
+ * starving its early requests.
+ */
+void requireSortedByArrival(const std::vector<TimedRequest> &requests,
+                            const char *context);
 
 } // namespace pimphony
 

@@ -1,0 +1,299 @@
+#include "workload/replay.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pimphony {
+
+namespace {
+
+/** %.17g round-trips doubles exactly; the comma swap keeps the file
+ *  locale-independent (same fix as bench JSON emission). */
+std::string
+numberToken(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    std::string s(buf);
+    std::replace(s.begin(), s.end(), ',', '.');
+    return s;
+}
+
+std::string
+numberToken(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+appendRequestFields(std::string &out, const Request &r)
+{
+    out += "\"id\": " + numberToken(std::uint64_t{r.id});
+    out += ", \"context\": " + numberToken(r.contextTokens);
+    out += ", \"decode\": " + numberToken(r.decodeTokens);
+    out += ", \"session\": " + numberToken(std::uint64_t{r.session});
+    out += ", \"turn\": " + numberToken(std::uint64_t{r.turn});
+    out += ", \"tier\": " + numberToken(std::uint64_t{r.cls.tier});
+    out += ", \"gap_slo_s\": " + numberToken(r.cls.gapSloSeconds);
+    out += ", \"tenant\": " + numberToken(std::uint64_t{r.cls.tenant});
+    out += ", \"weight\": " + numberToken(r.cls.weight);
+}
+
+/** Cursor over the loaded file for the minimal parser below. */
+struct Cursor
+{
+    const char *begin;
+    const char *p;
+    const char *end;
+    const char *path;
+};
+
+void
+skipWs(Cursor &c)
+{
+    while (c.p < c.end && (*c.p == ' ' || *c.p == '\t' ||
+                           *c.p == '\n' || *c.p == '\r'))
+        ++c.p;
+}
+
+[[noreturn]] void
+parseFail(const Cursor &c, const char *what)
+{
+    fatal("%s: bad trace file: %s (at byte %zd)", c.path, what,
+          c.p - c.begin);
+}
+
+bool
+eat(Cursor &c, char ch)
+{
+    skipWs(c);
+    if (c.p < c.end && *c.p == ch) {
+        ++c.p;
+        return true;
+    }
+    return false;
+}
+
+void
+expect(Cursor &c, char ch, const char *what)
+{
+    if (!eat(c, ch))
+        parseFail(c, what);
+}
+
+std::string
+parseString(Cursor &c)
+{
+    expect(c, '"', "expected string");
+    std::string out;
+    while (c.p < c.end && *c.p != '"') {
+        if (*c.p == '\\')
+            parseFail(c, "escapes are not used in trace files");
+        out += *c.p++;
+    }
+    expect(c, '"', "unterminated string");
+    return out;
+}
+
+double
+parseNumber(Cursor &c)
+{
+    skipWs(c);
+    double v = 0.0;
+    auto r = std::from_chars(c.p, c.end, v);
+    if (r.ec != std::errc{})
+        parseFail(c, "expected number");
+    c.p = r.ptr;
+    return v;
+}
+
+/** One flat all-numeric object: {"key": number, ...}. */
+std::map<std::string, double>
+parseNumberObject(Cursor &c)
+{
+    std::map<std::string, double> fields;
+    expect(c, '{', "expected object");
+    if (eat(c, '}'))
+        return fields;
+    for (;;) {
+        std::string key = parseString(c);
+        expect(c, ':', "expected ':'");
+        fields[key] = parseNumber(c);
+        if (eat(c, ','))
+            continue;
+        expect(c, '}', "expected '}'");
+        return fields;
+    }
+}
+
+double
+fieldOr(const std::map<std::string, double> &fields, const char *key,
+        double fallback)
+{
+    auto it = fields.find(key);
+    return it == fields.end() ? fallback : it->second;
+}
+
+Request
+requestFromFields(const std::map<std::string, double> &fields,
+                  const Cursor &c)
+{
+    if (!fields.count("id") || !fields.count("context") ||
+        !fields.count("decode"))
+        parseFail(c, "request needs id/context/decode");
+    Request r;
+    r.id = static_cast<RequestId>(fields.at("id"));
+    r.contextTokens = static_cast<Tokens>(fields.at("context"));
+    r.decodeTokens = static_cast<Tokens>(fields.at("decode"));
+    r.session = static_cast<SessionId>(fieldOr(fields, "session", 0.0));
+    r.turn = static_cast<unsigned>(fieldOr(fields, "turn", 0.0));
+    r.cls.tier = static_cast<unsigned>(fieldOr(fields, "tier", 0.0));
+    r.cls.gapSloSeconds = fieldOr(fields, "gap_slo_s", 0.0);
+    r.cls.tenant = static_cast<unsigned>(fieldOr(fields, "tenant", 0.0));
+    r.cls.weight = fieldOr(fields, "weight", 1.0);
+    return r;
+}
+
+} // namespace
+
+void
+saveWorkload(const std::string &path, const BuiltWorkload &workload)
+{
+    std::string out;
+    out += "{\n  \"format\": \"pimphony-trace-v1\",\n";
+    out += "  \"requests\": [";
+    for (std::size_t i = 0; i < workload.initial.size(); ++i) {
+        const TimedRequest &timed = workload.initial[i];
+        out += i ? ",\n    {" : "\n    {";
+        appendRequestFields(out, timed.request);
+        out += ", \"arrival_s\": " + numberToken(timed.arrivalSeconds);
+        out += "}";
+    }
+    out += workload.initial.empty() ? "],\n" : "\n  ],\n";
+    // Ascending predecessor order keeps the file byte-stable for a
+    // given workload (the book itself is unordered).
+    std::vector<RequestId> after;
+    after.reserve(workload.sessions.size());
+    for (const auto &kv : workload.sessions)
+        after.push_back(kv.first);
+    std::sort(after.begin(), after.end());
+    out += "  \"successors\": [";
+    for (std::size_t i = 0; i < after.size(); ++i) {
+        const SessionTurn &turn = workload.sessions.at(after[i]);
+        out += i ? ",\n    {" : "\n    {";
+        out += "\"after\": " + numberToken(std::uint64_t{after[i]});
+        out += ", \"think_s\": " + numberToken(turn.thinkSeconds);
+        out += ", ";
+        appendRequestFields(out, turn.request);
+        out += "}";
+    }
+    out += after.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file)
+        fatal("cannot write trace '%s'", path.c_str());
+    file << out;
+    file.flush();
+    if (!file)
+        fatal("write to trace '%s' failed", path.c_str());
+}
+
+BuiltWorkload
+loadWorkload(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        fatal("cannot open trace '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    std::string text = buf.str();
+
+    Cursor c{text.data(), text.data(), text.data() + text.size(),
+             path.c_str()};
+    BuiltWorkload out;
+    bool format_seen = false;
+    expect(c, '{', "expected top-level object");
+    if (!eat(c, '}')) {
+        for (;;) {
+            std::string key = parseString(c);
+            expect(c, ':', "expected ':'");
+            if (key == "format") {
+                if (parseString(c) != "pimphony-trace-v1")
+                    parseFail(c, "unknown trace format");
+                format_seen = true;
+            } else if (key == "requests" || key == "successors") {
+                expect(c, '[', "expected array");
+                if (!eat(c, ']')) {
+                    for (;;) {
+                        auto fields = parseNumberObject(c);
+                        Request r = requestFromFields(fields, c);
+                        if (key == "requests") {
+                            out.initial.push_back(
+                                {r, fieldOr(fields, "arrival_s", 0.0)});
+                        } else {
+                            if (!fields.count("after"))
+                                parseFail(c, "successor needs 'after'");
+                            auto pred = static_cast<RequestId>(
+                                fields.at("after"));
+                            double think =
+                                fieldOr(fields, "think_s", 0.0);
+                            if (!out.sessions
+                                     .emplace(pred,
+                                              SessionTurn{r, think})
+                                     .second)
+                                parseFail(c,
+                                          "duplicate successor key");
+                        }
+                        if (eat(c, ','))
+                            continue;
+                        expect(c, ']', "expected ']'");
+                        break;
+                    }
+                }
+            } else {
+                parseFail(c, "unknown top-level key");
+            }
+            if (eat(c, ','))
+                continue;
+            expect(c, '}', "expected '}'");
+            break;
+        }
+    }
+    if (!format_seen)
+        fatal("%s: not a pimphony trace (missing format tag)",
+              path.c_str());
+    // Saved files are arrival-ordered already; hand-edited ones may
+    // not be, and every consumer requires the invariant.
+    sortByArrival(out.initial);
+    return out;
+}
+
+void
+saveTrace(const std::string &path,
+          const std::vector<TimedRequest> &trace)
+{
+    BuiltWorkload workload;
+    workload.initial = trace;
+    saveWorkload(path, workload);
+}
+
+std::vector<TimedRequest>
+loadTrace(const std::string &path)
+{
+    BuiltWorkload workload = loadWorkload(path);
+    if (!workload.sessions.empty())
+        fatal("trace '%s' carries session successors; load it with "
+              "loadWorkload()", path.c_str());
+    return std::move(workload.initial);
+}
+
+} // namespace pimphony

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Multi-turn session state for closed-loop serving workloads.
+ *
+ * A chat-style session is a chain of requests: the user reads turn
+ * k's answer, thinks, and submits turn k+1 — whose prompt carries
+ * the whole conversation so far. Two properties follow that an
+ * open-loop trace cannot express:
+ *
+ *  - turn k+1 exists on the serving clock only after turn k
+ *    completes (release time = completion + think time), and
+ *  - turn k+1's context length includes the session history
+ *    (sum of earlier prompts and answers).
+ *
+ * The workload layer encodes this as a SessionBook: successor turns
+ * keyed by their predecessor's request id. buildWorkload()
+ * (workload/spec.hh) emits the book alongside the turn-0 arrivals;
+ * ServingEngine::declareSessionTurns() consumes it and releases each
+ * successor from advanceMember's completion branch through the
+ * engine's mid-run arrival machinery (the PR 7 injectArrivals feed
+ * point). Requests carry their session identity (Request::session /
+ * Request::turn), which FleetEngine's router uses to pin a session's
+ * turns to one replica.
+ */
+
+#ifndef PIMPHONY_WORKLOAD_SESSION_HH
+#define PIMPHONY_WORKLOAD_SESSION_HH
+
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "workload/trace.hh"
+
+namespace pimphony {
+
+/** One declared-but-unreleased successor turn of a session. */
+struct SessionTurn
+{
+    /** The successor request (session/turn fields already stamped). */
+    Request request;
+
+    /**
+     * User think time: seconds between the predecessor's completion
+     * and this turn's arrival. Must be nonnegative.
+     */
+    double thinkSeconds = 0.0;
+};
+
+/**
+ * Successor turns keyed by predecessor request id: book[i] is the
+ * turn released when request i completes. A k-turn session
+ * contributes k-1 entries chained by id.
+ */
+using SessionBook = std::unordered_map<RequestId, SessionTurn>;
+
+} // namespace pimphony
+
+#endif // PIMPHONY_WORKLOAD_SESSION_HH

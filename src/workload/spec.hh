@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Declarative workload composition: one WorkloadSpec describes what
+ * the benches used to assemble by hand from TraceGenerator, the
+ * arrival free functions, and assignRequestClass* — a length source,
+ * an arrival process, a class/tenant mix, and an optional multi-turn
+ * session model — and one buildWorkload(spec, seed) call turns it
+ * into a sorted TimedRequest stream (plus the SessionBook of
+ * closed-loop successor turns, when sessions are configured).
+ *
+ * Determinism contract: the build is a pure function of (spec,
+ * seed). The three independent random streams (lengths, arrivals,
+ * think times) are seeded by the public workload*Seed(seed) helpers,
+ * so equivalence with the legacy composition is assertable bit for
+ * bit: a default spec over a Table II task with Poisson arrivals
+ * produces exactly
+ *
+ *   poissonArrivals(TraceGenerator(task, workloadLengthSeed(s))
+ *                       .generate(n, decode),
+ *                   rate, workloadArrivalSeed(s))
+ *
+ * — asserted in tests/workload_test.cc for all three wrapped
+ * processes.
+ */
+
+#ifndef PIMPHONY_WORKLOAD_SPEC_HH
+#define PIMPHONY_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/arrival.hh"
+#include "workload/arrival_process.hh"
+#include "workload/length_source.hh"
+#include "workload/request_class.hh"
+#include "workload/session.hh"
+#include "workload/trace.hh"
+
+namespace pimphony {
+
+/** Where a request's (prompt, output) lengths come from. */
+enum class LengthSourceKind {
+    /** Table II synthetic task (workload/trace.hh), the default. */
+    TableTask,
+
+    /** Explicit (prompt, output) pairs, cycled in order. */
+    Pairs,
+
+    /** Empirical weighted histogram, sampled per seed. */
+    Histogram,
+};
+
+struct LengthSpec
+{
+    LengthSourceKind kind = LengthSourceKind::TableTask;
+
+    /** TableTask: the Table II task and fixed decode length. */
+    TraceTask task = TraceTask::QMSum;
+    Tokens decodeTokens = 128;
+
+    /** Pairs: request i draws pairs[i % pairs.size()]. */
+    std::vector<LengthPair> pairs;
+
+    /** Histogram: weighted-sampled per draw. */
+    LengthHistogram histogram;
+};
+
+/** Which arrival process stamps the arrival times. */
+enum class ArrivalKind {
+    /** Everything at time zero (closed-loop). */
+    Immediate,
+
+    Poisson,
+    Gamma,
+    OnOff,
+
+    /** Inhomogeneous Poisson over a RateCurve (diurnal replay). */
+    RateCurve,
+};
+
+struct ArrivalSpec
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+
+    /** Poisson / Gamma: mean arrival rate. */
+    double ratePerSecond = 1.0;
+
+    /** Gamma: coefficient of variation of the inter-arrival gaps. */
+    double cv = 1.0;
+
+    /** OnOff: the two-state burst parameters. */
+    OnOffTraffic onOff;
+
+    /** RateCurve: the piecewise-constant rate profile. */
+    RateCurve curve;
+};
+
+/**
+ * Optional multi-turn session model. With turns > 1 the spec's
+ * count becomes a *session* count: each session opens with its
+ * turn-0 request at an arrival-process time, and each later turn is
+ * released closed-loop (predecessor completion + an exponential
+ * think time) through the engine's session machinery. Turn k's
+ * prompt length covers the session history: with carryHistory set
+ * (the default), context_k = sum over j < k of (prompt_j +
+ * output_j) + prompt_k.
+ */
+struct SessionSpec
+{
+    /** Turns per session; <= 1 disables the session model. */
+    unsigned turns = 1;
+
+    /** Mean exponential user think time between turns (0 = none). */
+    double thinkMeanSeconds = 1.0;
+
+    /** Grow each turn's context by the session history. */
+    bool carryHistory = true;
+};
+
+struct WorkloadSpec
+{
+    /** Requests to build — or sessions, when session.turns > 1. */
+    std::size_t count = 48;
+
+    LengthSpec length;
+    ArrivalSpec arrival;
+
+    /**
+     * Class/tenant mix, assigned cyclically (request — or session —
+     * i gets classes[i % classes.size()]; every turn of a session
+     * shares its class). Empty = the default class everywhere.
+     */
+    std::vector<RequestClass> classes;
+
+    SessionSpec session;
+};
+
+/** A built workload: the open-loop arrivals plus (with sessions)
+ *  the closed-loop successor turns. */
+struct BuiltWorkload
+{
+    /** Turn-0 / standalone requests, sorted by arrival. */
+    std::vector<TimedRequest> initial;
+
+    /** Successor turns for ServingEngine::declareSessionTurns /
+     *  FleetEngine::setSessions; empty without sessions. */
+    SessionBook sessions;
+};
+
+/**
+ * Sub-seeds of the three independent random streams a build uses.
+ * Public so tests (and replay tooling) can reproduce each stream
+ * against the legacy free functions.
+ */
+std::uint64_t workloadLengthSeed(std::uint64_t build_seed);
+std::uint64_t workloadArrivalSeed(std::uint64_t build_seed);
+std::uint64_t workloadSessionSeed(std::uint64_t build_seed);
+
+/** Instantiate the ArrivalProcess a spec names. */
+std::unique_ptr<ArrivalProcess> makeArrivalProcess(
+    const ArrivalSpec &arrival);
+
+/**
+ * Build the workload a spec describes, deterministically from
+ * @p seed. Request ids are dense from zero in generation order
+ * (session s, turn k gets id s * turns + k).
+ */
+BuiltWorkload buildWorkload(const WorkloadSpec &spec,
+                            std::uint64_t seed);
+
+} // namespace pimphony
+
+#endif // PIMPHONY_WORKLOAD_SPEC_HH

@@ -72,6 +72,17 @@ struct Request
      * workload/request_class.hh.
      */
     RequestClass cls;
+
+    /**
+     * Multi-turn session this request belongs to (kNoSession = a
+     * standalone request, the default). Session turns are released
+     * closed-loop — see workload/session.hh — and fleet routing
+     * pins a session's turns to one replica.
+     */
+    SessionId session = kNoSession;
+
+    /** Zero-based turn index within the session. */
+    unsigned turn = 0;
 };
 
 /** Stamp every request in @p requests with @p cls. */

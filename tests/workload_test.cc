@@ -9,8 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <random>
+
 #include "common/stats.hh"
 #include "workload/arrival.hh"
+#include "workload/arrival_process.hh"
+#include "workload/replay.hh"
+#include "workload/spec.hh"
 #include "workload/trace.hh"
 
 namespace pimphony {
@@ -188,6 +196,389 @@ TEST(Arrivals, OnOffEmpiricalMeanRateMatchesConfigured)
                     timed.back().arrivalSeconds;
     }
     EXPECT_NEAR(rate_sum / kSeeds, expected, expected * 0.10);
+}
+
+// --- ArrivalProcess wrappers: the free functions must reproduce the
+// --- pre-refactor RNG loops bit for bit. The goldens below are
+// --- verbatim copies of the original generator bodies. ------------------
+
+TEST(ArrivalProcess, PoissonWrapperMatchesLegacyLoop)
+{
+    auto reqs = flatRequests(128);
+    const double rate = 3.0;
+    const std::uint64_t seed = 19;
+    std::vector<TimedRequest> golden;
+    Rng rng(seed);
+    double t = 0.0;
+    for (const auto &r : reqs) {
+        double u = rng.uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        t += -std::log(u) / rate;
+        golden.push_back({r, t});
+    }
+    expectSameArrivals(poissonArrivals(reqs, rate, seed), golden);
+}
+
+TEST(ArrivalProcess, GammaWrapperMatchesLegacyLoop)
+{
+    auto reqs = flatRequests(128);
+    const double rate = 2.0, cv = 2.5;
+    const std::uint64_t seed = 23;
+    std::vector<TimedRequest> golden;
+    Rng rng(seed);
+    std::gamma_distribution<double> gap(1.0 / (cv * cv),
+                                        cv * cv / rate);
+    double t = 0.0;
+    for (const auto &r : reqs) {
+        t += gap(rng.engine());
+        golden.push_back({r, t});
+    }
+    expectSameArrivals(gammaArrivals(reqs, rate, cv, seed), golden);
+}
+
+TEST(ArrivalProcess, OnOffWrapperMatchesLegacyLoop)
+{
+    auto reqs = flatRequests(128);
+    OnOffTraffic traffic;
+    traffic.onRate = 6.0;
+    traffic.offRate = 0.5;
+    traffic.meanOnSeconds = 1.0;
+    traffic.meanOffSeconds = 2.0;
+    const std::uint64_t seed = 29;
+    std::vector<TimedRequest> golden;
+    Rng rng(seed);
+    auto exp_draw = [&rng](double mean) {
+        double u = rng.uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        return -std::log(u) * mean;
+    };
+    double t = 0.0;
+    bool on = true;
+    double state_end = exp_draw(traffic.meanOnSeconds);
+    for (const auto &r : reqs) {
+        for (;;) {
+            double rate = on ? traffic.onRate : traffic.offRate;
+            if (rate > 0.0) {
+                double next_t = t + exp_draw(1.0 / rate);
+                if (next_t <= state_end) {
+                    t = next_t;
+                    break;
+                }
+            }
+            t = state_end;
+            on = !on;
+            state_end = t + exp_draw(on ? traffic.meanOnSeconds
+                                        : traffic.meanOffSeconds);
+        }
+        golden.push_back({r, t});
+    }
+    expectSameArrivals(onOffArrivals(reqs, traffic, seed), golden);
+}
+
+TEST(ArrivalProcess, NextBeforeResetDies)
+{
+    PoissonProcess p(1.0);
+    EXPECT_DEATH(p.next(), "before reset");
+}
+
+// --- Piecewise rate curves (diurnal profiles). --------------------------
+
+TEST(RateCurve, EmpiricalLongRunRateMatchesMean)
+{
+    auto reqs = flatRequests(4000);
+    RateCurve curve = RateCurve::fromRates({2.0, 0.5}, 5.0);
+    double expected = curve.meanRate();
+    ASSERT_DOUBLE_EQ(expected, 1.25);
+    double rate_sum = 0.0;
+    const int kSeeds = 5;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        PiecewiseRateCurve process(curve);
+        auto timed = attachArrivals(reqs, process, seed);
+        ASSERT_GT(timed.back().arrivalSeconds, 0.0);
+        rate_sum += static_cast<double>(timed.size()) /
+                    timed.back().arrivalSeconds;
+    }
+    EXPECT_NEAR(rate_sum / kSeeds, expected, expected * 0.08);
+}
+
+TEST(RateCurve, DeterministicPerSeedAndSeedsDiffer)
+{
+    auto reqs = flatRequests(256);
+    RateCurve curve = RateCurve::fromRates({1.0, 3.0, 0.2}, 2.0);
+    PiecewiseRateCurve p1(curve), p2(curve), p3(curve);
+    auto a = attachArrivals(reqs, p1, 41);
+    auto b = attachArrivals(reqs, p2, 41);
+    expectSameArrivals(a, b);
+    auto c = attachArrivals(reqs, p3, 42);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].arrivalSeconds == c[i].arrivalSeconds)
+            ++same;
+    EXPECT_LT(same, 4);
+}
+
+TEST(RateCurve, ZeroRateSegmentsGetNoArrivals)
+{
+    // Repeating {4 req/s for 1 s, silence for 1 s}: every arrival's
+    // position inside the 2 s cycle must land in the active half.
+    auto reqs = flatRequests(512);
+    RateCurve curve = RateCurve::fromRates({4.0, 0.0}, 1.0);
+    PiecewiseRateCurve process(curve);
+    auto timed = attachArrivals(reqs, process, 7);
+    for (const auto &tr : timed) {
+        double pos = std::fmod(tr.arrivalSeconds, 2.0);
+        EXPECT_LE(pos, 1.0 + 1e-9) << tr.arrivalSeconds;
+    }
+}
+
+TEST(RateCurve, NonRepeatTailExtendsForever)
+{
+    // Non-repeating {silent 5 s, 2 req/s}: nothing before 5 s, and
+    // the last segment keeps producing arrivals past its end.
+    auto reqs = flatRequests(64);
+    RateCurve curve;
+    curve.segments = {{5.0, 0.0}, {1.0, 2.0}};
+    curve.repeat = false;
+    PiecewiseRateCurve process(curve);
+    auto timed = attachArrivals(reqs, process, 9);
+    EXPECT_GE(timed.front().arrivalSeconds, 5.0);
+    EXPECT_GT(timed.back().arrivalSeconds, 6.0);
+}
+
+TEST(RateCurve, InvalidCurvesDie)
+{
+    RateCurve all_zero = RateCurve::fromRates({0.0, 0.0}, 1.0);
+    EXPECT_DEATH(PiecewiseRateCurve{all_zero}, "positive rate");
+    RateCurve zero_tail = RateCurve::fromRates({1.0, 0.0}, 1.0);
+    zero_tail.repeat = false;
+    EXPECT_DEATH(PiecewiseRateCurve{zero_tail}, "positive");
+}
+
+// --- Length sources. ----------------------------------------------------
+
+TEST(LengthHistogram, FromFileSamplesWeightedBins)
+{
+    const char *path = "LENGTH_HIST_TEST.tmp";
+    {
+        std::ofstream os(path);
+        os << "# prompt decode [weight]\n"
+           << "1000 16 3\n"
+           << "4000 64 1\n";
+    }
+    LengthHistogram hist = LengthHistogram::fromFile(path);
+    std::remove(path);
+    Rng rng(5);
+    std::size_t small = 0, large = 0;
+    const std::size_t kDraws = 4000;
+    for (std::size_t i = 0; i < kDraws; ++i) {
+        LengthPair p = hist.sample(rng);
+        if (p.promptTokens == 1000 && p.decodeTokens == 16)
+            ++small;
+        else if (p.promptTokens == 4000 && p.decodeTokens == 64)
+            ++large;
+        else
+            FAIL() << "sample outside the histogram bins";
+    }
+    // 3:1 weights; binomial noise over 4000 draws stays well inside
+    // +-5 percentage points.
+    EXPECT_NEAR(static_cast<double>(small) / kDraws, 0.75, 0.05);
+    EXPECT_GT(large, 0u);
+}
+
+// --- WorkloadSpec: bit-identity with the legacy composition. ------------
+
+TEST(WorkloadSpec, TableTaskPoissonMatchesFreeFunctions)
+{
+    const std::uint64_t seed = 77;
+    WorkloadSpec spec;
+    spec.count = 96;
+    spec.length.kind = LengthSourceKind::TableTask;
+    spec.length.task = TraceTask::QMSum;
+    spec.length.decodeTokens = 32;
+    spec.arrival.kind = ArrivalKind::Poisson;
+    spec.arrival.ratePerSecond = 2.0;
+    BuiltWorkload built = buildWorkload(spec, seed);
+    EXPECT_TRUE(built.sessions.empty());
+
+    TraceGenerator gen(TraceTask::QMSum, workloadLengthSeed(seed));
+    auto legacy = poissonArrivals(gen.generate(96, 32), 2.0,
+                                  workloadArrivalSeed(seed));
+    ASSERT_EQ(built.initial.size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+        EXPECT_EQ(built.initial[i].request.id, legacy[i].request.id);
+        EXPECT_EQ(built.initial[i].request.contextTokens,
+                  legacy[i].request.contextTokens);
+        EXPECT_EQ(built.initial[i].request.decodeTokens,
+                  legacy[i].request.decodeTokens);
+        EXPECT_EQ(built.initial[i].arrivalSeconds,
+                  legacy[i].arrivalSeconds);
+    }
+}
+
+TEST(WorkloadSpec, PairsGammaAndOnOffMatchFreeFunctions)
+{
+    const std::uint64_t seed = 101;
+    std::vector<LengthPair> pairs = {{1000, 16}, {2000, 32}, {500, 8}};
+    std::vector<Request> legacy_reqs;
+    for (RequestId i = 0; i < 64; ++i) {
+        const LengthPair &p = pairs[i % pairs.size()];
+        legacy_reqs.push_back({i, p.promptTokens, p.decodeTokens});
+    }
+
+    WorkloadSpec spec;
+    spec.count = 64;
+    spec.length.kind = LengthSourceKind::Pairs;
+    spec.length.pairs = pairs;
+    spec.arrival.kind = ArrivalKind::Gamma;
+    spec.arrival.ratePerSecond = 3.0;
+    spec.arrival.cv = 2.0;
+    expectSameArrivals(buildWorkload(spec, seed).initial,
+                       gammaArrivals(legacy_reqs, 3.0, 2.0,
+                                     workloadArrivalSeed(seed)));
+
+    spec.arrival.kind = ArrivalKind::OnOff;
+    spec.arrival.onOff.onRate = 5.0;
+    spec.arrival.onOff.offRate = 0.0;
+    spec.arrival.onOff.meanOnSeconds = 1.0;
+    spec.arrival.onOff.meanOffSeconds = 2.0;
+    expectSameArrivals(buildWorkload(spec, seed).initial,
+                       onOffArrivals(legacy_reqs, spec.arrival.onOff,
+                                     workloadArrivalSeed(seed)));
+}
+
+TEST(WorkloadSpec, ClassesAssignedCyclically)
+{
+    RequestClass a, b;
+    a.tier = 0;
+    a.tenant = 0;
+    b.tier = 1;
+    b.tenant = 1;
+    WorkloadSpec spec;
+    spec.count = 10;
+    spec.length.kind = LengthSourceKind::Pairs;
+    spec.length.pairs = {{1000, 16}};
+    spec.arrival.kind = ArrivalKind::Immediate;
+    spec.classes = {a, b};
+    BuiltWorkload built = buildWorkload(spec, 1);
+    ASSERT_EQ(built.initial.size(), 10u);
+    for (const auto &tr : built.initial)
+        EXPECT_TRUE(tr.request.cls ==
+                    (tr.request.id % 2 == 0 ? a : b))
+            << tr.request.id;
+}
+
+TEST(WorkloadSpec, SessionsGrowHistoryAndChainTurns)
+{
+    WorkloadSpec spec;
+    spec.count = 4;
+    spec.length.kind = LengthSourceKind::Pairs;
+    spec.length.pairs = {{1000, 50}};
+    spec.arrival.kind = ArrivalKind::Poisson;
+    spec.arrival.ratePerSecond = 1.0;
+    spec.session.turns = 3;
+    spec.session.thinkMeanSeconds = 2.0;
+    BuiltWorkload built = buildWorkload(spec, 13);
+
+    // 4 sessions: one turn-0 arrival each, two successors each.
+    ASSERT_EQ(built.initial.size(), 4u);
+    ASSERT_EQ(built.sessions.size(), 8u);
+    for (const auto &tr : built.initial) {
+        EXPECT_EQ(tr.request.turn, 0u);
+        EXPECT_NE(tr.request.session, kNoSession);
+        EXPECT_EQ(tr.request.contextTokens, 1000u);
+    }
+    // Turn k's context carries the history: 1000, 2050, 3100.
+    for (const auto &kv : built.sessions) {
+        const Request &r = kv.second.request;
+        EXPECT_EQ(kv.first + 1, r.id);
+        EXPECT_GE(kv.second.thinkSeconds, 0.0);
+        if (r.turn == 1)
+            EXPECT_EQ(r.contextTokens, 2050u);
+        else if (r.turn == 2)
+            EXPECT_EQ(r.contextTokens, 3100u);
+        else
+            FAIL() << "unexpected successor turn " << r.turn;
+    }
+
+    // Pure function of (spec, seed): a rebuild is identical.
+    BuiltWorkload again = buildWorkload(spec, 13);
+    expectSameArrivals(built.initial, again.initial);
+    ASSERT_EQ(built.sessions.size(), again.sessions.size());
+    for (const auto &kv : built.sessions) {
+        auto it = again.sessions.find(kv.first);
+        ASSERT_NE(it, again.sessions.end());
+        EXPECT_EQ(kv.second.request.contextTokens,
+                  it->second.request.contextTokens);
+        EXPECT_EQ(kv.second.thinkSeconds, it->second.thinkSeconds);
+    }
+}
+
+// --- Trace replay round trip. -------------------------------------------
+
+TEST(Replay, SaveLoadRoundTripIsExact)
+{
+    RequestClass cls;
+    cls.tier = 1;
+    cls.gapSloSeconds = 0.25;
+    cls.tenant = 3;
+    WorkloadSpec spec;
+    spec.count = 6;
+    spec.length.kind = LengthSourceKind::TableTask;
+    spec.length.task = TraceTask::Musique;
+    spec.length.decodeTokens = 24;
+    spec.arrival.kind = ArrivalKind::RateCurve;
+    spec.arrival.curve = RateCurve::fromRates({1.0, 0.3}, 4.0);
+    spec.classes = {RequestClass{}, cls};
+    spec.session.turns = 3;
+    spec.session.thinkMeanSeconds = 1.5;
+    BuiltWorkload built = buildWorkload(spec, 55);
+
+    const char *path = "REPLAY_ROUNDTRIP_TEST.tmp";
+    saveWorkload(path, built);
+    BuiltWorkload loaded = loadWorkload(path);
+    std::remove(path);
+
+    ASSERT_EQ(loaded.initial.size(), built.initial.size());
+    for (std::size_t i = 0; i < built.initial.size(); ++i) {
+        const TimedRequest &a = built.initial[i];
+        const TimedRequest &b = loaded.initial[i];
+        EXPECT_EQ(a.request.id, b.request.id);
+        EXPECT_EQ(a.request.contextTokens, b.request.contextTokens);
+        EXPECT_EQ(a.request.decodeTokens, b.request.decodeTokens);
+        EXPECT_EQ(a.request.session, b.request.session);
+        EXPECT_EQ(a.request.turn, b.request.turn);
+        EXPECT_TRUE(a.request.cls == b.request.cls);
+        EXPECT_EQ(a.arrivalSeconds, b.arrivalSeconds);
+    }
+    ASSERT_EQ(loaded.sessions.size(), built.sessions.size());
+    for (const auto &kv : built.sessions) {
+        auto it = loaded.sessions.find(kv.first);
+        ASSERT_NE(it, loaded.sessions.end()) << kv.first;
+        const Request &a = kv.second.request;
+        const Request &b = it->second.request;
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.contextTokens, b.contextTokens);
+        EXPECT_EQ(a.decodeTokens, b.decodeTokens);
+        EXPECT_EQ(a.session, b.session);
+        EXPECT_EQ(a.turn, b.turn);
+        EXPECT_TRUE(a.cls == b.cls);
+        EXPECT_EQ(kv.second.thinkSeconds, it->second.thinkSeconds);
+    }
+}
+
+// --- Sorted-arrival guard. ----------------------------------------------
+
+TEST(Arrivals, RequireSortedAcceptsSortedAndDiesOnUnsorted)
+{
+    auto reqs = flatRequests(16);
+    auto timed = poissonArrivals(reqs, 2.0, 3);
+    requireSortedByArrival(timed, "test");
+    std::swap(timed.front().arrivalSeconds,
+              timed.back().arrivalSeconds);
+    EXPECT_DEATH(requireSortedByArrival(timed, "test"),
+                 "arrivals out of order");
 }
 
 TEST(Trace, NamesAndSuites)
