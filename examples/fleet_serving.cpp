@@ -9,11 +9,15 @@
  * two compares the routing policies on a skewed trace — round-robin
  * alternates blindly while least-loaded steers long contexts away
  * from busy replicas — and prints the per-replica routing histogram
- * so the difference is visible, not just aggregate.
+ * so the difference is visible, not just aggregate. Part three
+ * injects a fault — one replica crashes mid-run and recovers after a
+ * model reload — and prints the availability and goodput delta
+ * against the fault-free run of the same fleet.
  */
 
 #include <cstdio>
 
+#include "system/fault.hh"
 #include "system/fleet.hh"
 #include "workload/arrival.hh"
 
@@ -108,6 +112,66 @@ routingPolicies()
                 "replicas still chewing a 30k-token prefill.\n");
 }
 
+/** One crash + recovery against the fault-free baseline. */
+void
+faultInjection()
+{
+    std::vector<Request> reqs;
+    for (RequestId i = 0; i < 48; ++i)
+        reqs.push_back({i, (i % 4 == 0) ? Tokens(20000) : Tokens(2000),
+                        256});
+    auto trace = poissonArrivals(reqs, 32.0, 29);
+
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::neupimsLike(model);
+    applyOptions(cluster, PimphonyOptions::all());
+
+    FleetOptions options;
+    options.replicas = 2;
+    options.policy = RoutePolicy::RoundRobin;
+    options.dispatchLatencySeconds = 0.002;
+    options.engine.allocator = AllocatorKind::LazyChunk;
+    options.engine.stepModel = StepModel::EventDriven;
+    options.engine.prefillChunkTokens = 2048;
+
+    auto clean = FleetEngine(cluster, model, trace, options).run();
+
+    // Replica 1 hard-crashes at t = 1 s (queued work evacuates,
+    // in-flight decodes are killed and failed over to replica 0)
+    // and recovers at t = 2.5 s after half a second of model reload.
+    options.faults.replicas.resize(2);
+    options.faults.replicas[1].push_back(crashAt(1.0));
+    options.faults.replicas[1].push_back(recoverAt(2.5, 0.5));
+    auto faulty = FleetEngine(cluster, model, trace, options).run();
+
+    std::printf("\nFault injection, 2 replicas: replica 1 crashes at "
+                "1.0s, recovers at 2.5s\n(+0.5s model reload)\n\n");
+    std::printf("%-22s %12s %12s\n", "", "fault-free", "faulty");
+    std::printf("%-22s %12.4f %12.4f\n", "replica 1 availability",
+                clean.availability[1], faulty.availability[1]);
+    std::printf("%-22s %12llu %12llu\n", "goodput tokens",
+                static_cast<unsigned long long>(clean.goodputTokens),
+                static_cast<unsigned long long>(faulty.goodputTokens));
+    std::printf("%-22s %12.1f %12.1f\n", "goodput tokens/s",
+                clean.goodputTokensPerSecond,
+                faulty.goodputTokensPerSecond);
+    std::printf("\nfaulty run: %llu evacuated, %llu retried, "
+                "%llu requests lost, %llu decode\ntokens discarded by "
+                "the kill\n",
+                static_cast<unsigned long long>(
+                    faulty.evacuatedRequests),
+                static_cast<unsigned long long>(
+                    faulty.retriedRequests),
+                static_cast<unsigned long long>(faulty.lostRequests),
+                static_cast<unsigned long long>(faulty.lostTokens));
+    std::printf("\nEvery request still completes — the router fails "
+                "work over to replica 0 —\nbut the decode tokens "
+                "replica 1 had produced when it died are discarded\n"
+                "and re-decoded, so goodput/s drops while "
+                "generated == goodput + lost\nstays exact. "
+                "Availability charges the outage plus the reload.\n");
+}
+
 } // namespace
 
 int
@@ -115,5 +179,6 @@ main()
 {
     replicaScaling();
     routingPolicies();
+    faultInjection();
     return 0;
 }

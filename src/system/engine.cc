@@ -57,6 +57,36 @@ struct ServingEngine::EventRun
      *  queuedTokens share submitSequence holders hide). */
     double prefillingTokens = 0.0;
 
+    /**
+     * Requests whose prefill chunks are on the timelines, reachable
+     * for evacuation (the submitSequence completion lambdas share
+     * ownership). Erased as completions land.
+     */
+    std::vector<std::shared_ptr<Active>> prefillHolders;
+
+    /**
+     * Brown-out stretch applied to device charges at submission
+     * (decode cycles, prefill chunks, the scalar prefill clock).
+     * Exactly 1.0 is bit-transparent: multiplying a double by 1.0
+     * is exact, so the fault-free engine is reproduced bit for bit.
+     */
+    double serviceRateScale = 1.0;
+
+    /**
+     * A killing evacuate() halted the engine: no admissions, no new
+     * cohorts, stale prefill completions dropped. Cleared by
+     * restoreService().
+     */
+    bool halted = false;
+
+    /**
+     * Evacuation generation. In-flight prefill completions capture
+     * the epoch at submission and discard themselves when a killing
+     * evacuate() has bumped it since — their request was already
+     * rewound and failed over.
+     */
+    std::uint64_t epoch = 0;
+
     std::uint32_t nextCohortId = 0;
     std::uint64_t cycles = 0;
     bool capped = false;
@@ -785,7 +815,7 @@ ServingEngine::evStartPrefill(Active a, double now)
             row[s].tier = a.request.cls.tier;
             row[s].seconds = chunk_secs[k] * engine_scale *
                              stageLayers(model_.nLayers, ev.pp, s) /
-                             layers_total;
+                             layers_total * ev.serviceRateScale;
         }
     }
     ++ev.prefilling;
@@ -793,13 +823,21 @@ ServingEngine::evStartPrefill(Active a, double now)
         a.request.contextTokens + a.request.decodeTokens);
     ev.prefillingTokens += holder_tokens;
     auto holder = std::make_shared<Active>(std::move(a));
+    ev.prefillHolders.push_back(holder);
+    std::uint64_t epoch = ev.epoch;
     ev.stages->pipeline().submitSequence(
         ev.queue, ev.seqScratch, now,
-        [this, holder, holder_tokens](double t) {
-            --ev_->prefilling;
-            ev_->prefillingTokens -= holder_tokens;
+        [this, holder, holder_tokens, epoch](double t) {
+            EventRun &run = *ev_;
+            if (epoch != run.epoch)
+                return; // evacuated mid-prefill; already failed over
+            run.prefillHolders.erase(
+                std::find(run.prefillHolders.begin(),
+                          run.prefillHolders.end(), holder));
+            --run.prefilling;
+            run.prefillingTokens -= holder_tokens;
             evAccountTo(t);
-            ev_->readyPool.push_back(std::move(*holder));
+            run.readyPool.push_back(std::move(*holder));
             evFormNewCohorts(t);
         });
 }
@@ -814,6 +852,8 @@ ServingEngine::evAdmitArrivals(double now)
     // the (FIFO) admission queue until the SLO signal recovers,
     // re-checked at every cycle completion.
     EventRun &ev = *ev_;
+    if (ev.halted)
+        return; // crashed replica: admissions wait for the sweep
     if (!classesActive_ && !budgetsActive_) {
         // Single-class path: plain FIFO admission, bit-identical
         // to the pre-tier engine.
@@ -838,8 +878,8 @@ ServingEngine::evAdmitArrivals(double now)
             if (ev.chunked) {
                 evStartPrefill(std::move(a), now);
             } else {
-                ev.prefillReady =
-                    std::max(ev.prefillReady, now) + prefill_sec;
+                ev.prefillReady = std::max(ev.prefillReady, now) +
+                                  prefill_sec * ev.serviceRateScale;
                 ev.readyPool.push_back(std::move(a));
             }
         }
@@ -890,8 +930,8 @@ ServingEngine::evAdmitArrivals(double now)
         if (ev.chunked) {
             evStartPrefill(std::move(a), now);
         } else {
-            ev.prefillReady =
-                std::max(ev.prefillReady, now) + prefill_sec;
+            ev.prefillReady = std::max(ev.prefillReady, now) +
+                              prefill_sec * ev.serviceRateScale;
             ev.readyPool.push_back(std::move(a));
         }
     }
@@ -903,7 +943,12 @@ ServingEngine::evStartCycle(EventCohort &c, double ready)
     EventRun &ev = *ev_;
     CyclePlan plan = planCohortCycle(
         c.members.data(), c.members.data() + c.members.size());
-    double span_cycles = plan.layerSeconds * plan.layersTotal / ev.spc *
+    // Brown-out: stretch the cycle's device time (and its channel
+    // span, so MAC utilization sees the slowdown) without changing
+    // the intrinsic work. scale == 1.0 multiplies exactly.
+    double layer_sec = plan.layerSeconds * ev.serviceRateScale;
+    double fc_layer_sec = plan.fcLayerSeconds * ev.serviceRateScale;
+    double span_cycles = layer_sec * plan.layersTotal / ev.spc *
                          cluster_.module.nChannels * ev.tp;
     accountCycle(plan, span_cycles, ev.acc);
 
@@ -923,8 +968,8 @@ ServingEngine::evStartCycle(EventCohort &c, double ready)
         ev.cycleItems[s].cohort = c.id;
         ev.cycleItems[s].cycle = c.cycle;
         ev.cycleItems[s].tier = cohort_tier;
-        ev.cycleItems[s].seconds = plan.layerSeconds * layers;
-        ev.cycleItems[s].fcSeconds = plan.fcLayerSeconds * layers;
+        ev.cycleItems[s].seconds = layer_sec * layers;
+        ev.cycleItems[s].fcSeconds = fc_layer_sec * layers;
     }
     ++c.cycle;
     EventCohort *cohort = &c;
@@ -999,7 +1044,7 @@ ServingEngine::evFormNewCohorts(double t)
 {
     EventRun &ev = *ev_;
     for (;;) {
-        if (ev.capped)
+        if (ev.capped || ev.halted)
             return;
         if (ev.cohorts.size() >= ev.pp)
             return; // pipeline slots full; rebalance at cycle ends
@@ -1330,6 +1375,89 @@ ServingEngine::queuedTokens() const
             sum += request_tokens(a.request) -
                    static_cast<double>(a.generated);
     return sum + ev.prefillingTokens;
+}
+
+double
+ServingEngine::now() const
+{
+    return ev_ ? ev_->queue.now() : 0.0;
+}
+
+ServingEngine::Evacuation
+ServingEngine::evacuate(bool kill_in_flight)
+{
+    if (!ev_)
+        fatal("ServingEngine::evacuate() before prepare()");
+    EventRun &ev = *ev_;
+    if (ev.finalized)
+        fatal("ServingEngine::evacuate() after finalize()");
+
+    Evacuation out;
+    // The undelivered/unadmitted queue migrates as-is. arrived may
+    // hold preemption requeues with past arrivals, so the merged
+    // batch is re-sorted rather than assumed ordered.
+    out.queued.reserve(ev.arrived.size() + ev.future.size());
+    for (const TimedRequest &timed : ev.arrived)
+        out.queued.push_back(timed);
+    ev.arrived.clear();
+    for (const TimedRequest &timed : ev.future)
+        out.queued.push_back(timed);
+    ev.future.clear();
+    sortByArrival(out.queued);
+    if (!kill_in_flight)
+        return out;
+
+    // Hard crash: every admitted request loses its progress. KV
+    // reservations are released, partial decode tokens are counted
+    // as wasted, and the request is rewound to a fresh arrival for
+    // the failover router. Residual timeline events for the killed
+    // work drain as no-ops: cycle completions find empty cohorts and
+    // prefill completions see a stale epoch.
+    ev.halted = true;
+    ++ev.epoch;
+    auto drop = [&](Active &a) {
+        allocator_->release(a.request.id);
+        tenantRelease(a.request);
+        out.lostTokens += a.generated;
+        out.inFlight.push_back({a.request, a.arrival});
+    };
+    for (Active &a : ev.readyPool)
+        drop(a);
+    ev.readyPool.clear();
+    for (EventCohort &c : ev.cohorts) {
+        for (Active &m : c.members)
+            drop(m);
+        c.members.clear();
+    }
+    for (const auto &holder : ev.prefillHolders)
+        drop(*holder);
+    ev.prefillHolders.clear();
+    ev.prefilling = 0;
+    ev.prefillingTokens = 0.0;
+    sortByArrival(out.inFlight);
+    return out;
+}
+
+void
+ServingEngine::restoreService()
+{
+    if (!ev_)
+        fatal("ServingEngine::restoreService() before prepare()");
+    // Just lift the halt: queues are empty (the evacuation took
+    // them), so service resumes with the next injected arrival.
+    ev_->halted = false;
+}
+
+void
+ServingEngine::setServiceRateScale(double factor)
+{
+    if (!ev_)
+        fatal("ServingEngine::setServiceRateScale() before prepare()");
+    if (!(factor > 0.0))
+        fatal("ServingEngine::setServiceRateScale(%.17g): factor "
+              "must be positive",
+              factor);
+    ev_->serviceRateScale = factor;
 }
 
 EngineResult

@@ -316,6 +316,61 @@ class ServingEngine
      */
     double queuedTokens() const;
 
+    /** Current event-queue clock (0 before prepare()). */
+    double now() const;
+
+    /** What ServingEngine::evacuate() pulled off the engine. */
+    struct Evacuation
+    {
+        /**
+         * Undelivered pending arrivals and queued-but-unadmitted
+         * requests, sorted by arrival time — work the engine never
+         * started, migratable to another replica as-is.
+         */
+        std::vector<TimedRequest> queued;
+
+        /**
+         * Admitted requests whose in-flight progress (KV
+         * reservation, prefill chunks, partial decode) was
+         * discarded, each rewound to a fresh TimedRequest at its
+         * original arrival. Empty unless kill_in_flight.
+         */
+        std::vector<TimedRequest> inFlight;
+
+        /** Decode tokens already generated for inFlight, now wasted. */
+        std::uint64_t lostTokens = 0;
+    };
+
+    /**
+     * Pull work off the engine for migration (replica drain or
+     * crash). Always extracts the undelivered/unadmitted queue; with
+     * @p kill_in_flight additionally discards all admitted work —
+     * ready-pool, in-flight prefills, decoding cohort members — by
+     * releasing their reservations and returning them rewound (their
+     * generated tokens stay counted in generatedTokens as wasted
+     * throughput), and halts the engine: no new cohorts form and
+     * late prefill completions are dropped until restoreService().
+     * Composes with the resumable protocol: call between advanceTo()
+     * horizons; a halted engine still drains its residual events.
+     */
+    Evacuation evacuate(bool kill_in_flight);
+
+    /**
+     * Lift the halt a killing evacuate() imposed (the replica's
+     * model reload finished): injected arrivals admit and decode
+     * again. No-op if not halted.
+     */
+    void restoreService();
+
+    /**
+     * Stretch device charges submitted from now on by @p factor
+     * (> 1 is slower — brown-out modeling; 1 restores full speed).
+     * Applies to decode cycles, prefill chunks, and the scalar
+     * prefill serialization clock; work already on the timelines is
+     * unaffected. A factor of exactly 1 is bit-transparent.
+     */
+    void setServiceRateScale(double factor);
+
     /**
      * Close a prepared run: collect the per-stage policy metrics,
      * summarize latency samples, and return the result — the tail

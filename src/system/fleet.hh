@@ -32,11 +32,14 @@
 #define PIMPHONY_SYSTEM_FLEET_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "system/engine.hh"
+#include "system/fault.hh"
 #include "workload/arrival.hh"
 #include "workload/session.hh"
 
@@ -59,6 +62,23 @@ enum class RoutePolicy {
 };
 
 std::string routePolicyName(RoutePolicy policy);
+
+/**
+ * Per-replica health as the fleet's fault state machine sees it.
+ * Transitions fire at window barriers (preserving the conservative
+ * parallel protocol bit for bit):
+ *
+ *   Up --degrade--> Degraded --degrade end--> Up
+ *   Up --crash(drain > 0)--> Draining --drain end--> Down
+ *   Up --crash(drain = 0)--> Down
+ *   Down --recover--> Reloading --reload done--> Up
+ *
+ * The router routes only to Up and Degraded replicas; Draining
+ * replicas finish their in-flight work but receive nothing new.
+ */
+enum class ReplicaHealth { Up, Degraded, Draining, Down, Reloading };
+
+std::string replicaHealthName(ReplicaHealth health);
 
 struct FleetOptions
 {
@@ -84,6 +104,29 @@ struct FleetOptions
 
     /** Per-replica engine configuration (event-driven model only). */
     EngineOptions engine;
+
+    /**
+     * Fault injection (system/fault.hh). An empty schedule runs the
+     * fault-free fleet code path and is bit-identical, field for
+     * field, to a FleetEngine without the fault subsystem.
+     */
+    FaultSchedule faults;
+
+    /**
+     * Re-route attempts a request may consume before it is declared
+     * lost: every evacuation (queued work migrated off a draining or
+     * crashed replica) and failover (in-flight work killed by a
+     * crash) charges one attempt.
+     */
+    unsigned retryBudget = 3;
+
+    /**
+     * Failover backoff base: a request's k-th re-route is re-offered
+     * retryBackoffSeconds * 2^(k-1) after the fault that displaced
+     * it — deterministic exponential backoff, no jitter, so fault
+     * runs stay bit-reproducible.
+     */
+    double retryBackoffSeconds = 0.5;
 };
 
 struct FleetResult
@@ -125,6 +168,50 @@ struct FleetResult
      * the remaining work is one independent drain per replica.
      */
     std::uint64_t windows = 0;
+
+    // --- Fault-tolerance metrics. All zeros / trivial (availability
+    // --- 1.0, empty histogram) without a fault schedule.
+
+    /**
+     * Per-replica up-time fraction of the fleet makespan: the share
+     * of time the replica was routable (Up or Degraded). 1.0
+     * everywhere without faults.
+     */
+    std::vector<double> availability;
+
+    /**
+     * Decode tokens of requests that actually completed (the tokens
+     * a user received). aggregate.generatedTokens also counts
+     * partial decodes a crash discarded, so goodputTokens <=
+     * generatedTokens measures fault damage.
+     */
+    std::uint64_t goodputTokens = 0;
+
+    /** goodputTokens over the fleet makespan. */
+    double goodputTokensPerSecond = 0.0;
+
+    /** Queued requests migrated off draining/crashed replicas. */
+    std::uint64_t evacuatedRequests = 0;
+
+    /** Re-route injections performed (evacuations + failovers). */
+    std::uint64_t retriedRequests = 0;
+
+    /** Requests dropped after exhausting the retry budget, plus any
+     *  stranded by a fleet that never recovered. */
+    std::uint64_t lostRequests = 0;
+
+    /** Decode tokens of in-flight progress discarded by crashes. */
+    std::uint64_t lostTokens = 0;
+
+    /**
+     * retryHistogram[k] = requests re-routed exactly k times
+     * (capped at retryBudget; the k = 0 bucket is used only when
+     * retryBudget is 0). Empty without a fault schedule.
+     */
+    std::vector<std::uint64_t> retryHistogram;
+
+    /** Total model-reload seconds charged across recoveries. */
+    double reloadSeconds = 0.0;
 };
 
 /**
@@ -154,8 +241,27 @@ class FleetEngine
     FleetResult run();
 
   private:
-    /** Route one request: returns the chosen replica index. */
+    /**
+     * Route one request: returns the chosen replica index. Only
+     * routable replicas (routable_[i] != 0) are considered; a
+     * session pinned to an unroutable replica is un-pinned and
+     * re-pinned by policy. Callers guarantee at least one replica
+     * is routable. With every replica routable the decisions are
+     * identical to the pre-fault router.
+     */
     std::size_t pickReplica(const TimedRequest &timed);
+
+    /** A request awaiting re-routing after a fault displaced it. */
+    struct PendingRetry
+    {
+        TimedRequest timed;
+        unsigned attempts = 0;
+    };
+
+    /** The conservative-window run loop with fault transitions. */
+    void runWithFaults(
+        std::vector<std::unique_ptr<ServingEngine>> &engines,
+        FleetResult &fleet, std::size_t &next);
 
     /** Fleet-level aggregate of @p results (see FleetResult). */
     static EngineResult
@@ -168,6 +274,17 @@ class FleetEngine
 
     /** Router load signal: queued tokens per replica (LeastLoaded). */
     std::vector<double> loads_;
+
+    /** Health state machine, one entry per replica (fault runs). */
+    std::vector<ReplicaHealth> health_;
+
+    /** 1 while the replica accepts traffic (Up or Degraded). All 1
+     *  without faults, so the router is decision-identical. */
+    std::vector<char> routable_;
+
+    /** Unroutable intervals per replica, by nominal fault time; an
+     *  open interval carries a negative end until it closes. */
+    std::vector<std::vector<std::pair<double, double>>> downIntervals_;
 
     /** Closed-loop successor turns declared to every replica. */
     SessionBook sessions_;

@@ -52,8 +52,12 @@ requireSortedByArrival(const std::vector<TimedRequest> &requests,
         if (requests[i].arrivalSeconds <
             requests[i - 1].arrivalSeconds)
             fatal("%s: arrivals out of order at index %zu "
-                  "(%.17g after %.17g); sortByArrival() first",
-                  context, i, requests[i].arrivalSeconds,
+                  "(request %u at %.17g after request %u at %.17g); "
+                  "sortByArrival() first",
+                  context, i,
+                  static_cast<unsigned>(requests[i].request.id),
+                  requests[i].arrivalSeconds,
+                  static_cast<unsigned>(requests[i - 1].request.id),
                   requests[i - 1].arrivalSeconds);
 }
 

@@ -68,8 +68,21 @@ skipWs(Cursor &c)
 [[noreturn]] void
 parseFail(const Cursor &c, const char *what)
 {
-    fatal("%s: bad trace file: %s (at byte %zd)", c.path, what,
-          c.p - c.begin);
+    // Report the failure position as line:column (1-based, counted
+    // from the bytes already consumed) alongside the raw byte
+    // offset, so a malformed hand-edited trace is diagnosable from
+    // the log line alone.
+    std::size_t line = 1, column = 1;
+    for (const char *q = c.begin; q < c.p; ++q) {
+        if (*q == '\n') {
+            ++line;
+            column = 1;
+        } else {
+            ++column;
+        }
+    }
+    fatal("%s:%zu:%zu: bad trace file: %s (at byte %zd)", c.path,
+          line, column, what, c.p - c.begin);
 }
 
 bool

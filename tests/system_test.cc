@@ -151,6 +151,72 @@ TEST(Engine, RejectsImpossibleRequests)
     EXPECT_EQ(r.rejectedRequests, 1u);
 }
 
+// --- Rejection accounting: the three sites in engine.cc. ---------------
+
+TEST(Engine, RejectsRequestBeyondKvCapacityBothStepModels)
+{
+    // Site 1, capacity arm: the full decode trajectory exceeds the
+    // KV capacity of a deliberately tiny cluster while staying
+    // inside the context window, so admission rejects it outright.
+    auto model = LlmConfig::llm7b(true);
+    auto cluster = ClusterConfig::centLike(model);
+    cluster.nModules = 1;
+    cluster.plan = ParallelPlan{1, 1};
+    Tokens cap = cluster.usableKvBytes(model) / model.kvBytesPerToken();
+    ASSERT_LT(cap + 1016, model.contextWindow);
+
+    std::vector<Request> requests = {{0, cap + 1000, 16},
+                                     {1, 2000, 16}};
+    for (StepModel sm : {StepModel::Analytic, StepModel::EventDriven}) {
+        EngineOptions opts;
+        opts.allocator = AllocatorKind::LazyChunk;
+        opts.stepModel = sm;
+        auto r = ServingEngine(cluster, model, requests, opts).run();
+        EXPECT_EQ(r.rejectedRequests, 1u) << stepModelName(sm);
+        EXPECT_EQ(r.completedRequests, 1u) << stepModelName(sm);
+    }
+}
+
+/**
+ * Two-tenant construction reaching the forward-progress rejection
+ * sites: tenant 1 holds a large entitlement but its request exceeds
+ * the context window (site 1), which leaves tenant 0's over-budget
+ * request un-admittable — borrowing is denied while tenant 1 looks
+ * entitled — with nothing running. The analytic loop's reject-front
+ * arm and the event-driven cohort former's deadlock guard must then
+ * reject it rather than spin.
+ */
+TEST(Engine, RejectFrontAndDeadlockGuardFireWhenNothingAdmissible)
+{
+    auto model = LlmConfig::llm7b(false); // 32K context window
+    auto cluster = ClusterConfig::centLike(model);
+    Tokens cap = cluster.usableKvBytes(model) / model.kvBytesPerToken();
+    // Tenant 1's entitlement (0.95 cap) must cover its 40016-token
+    // request or the construction collapses.
+    ASSERT_GT(cap, 45000u);
+
+    RequestClass starved;
+    starved.tenant = 0;
+    RequestClass entitled;
+    entitled.tenant = 1;
+    std::vector<TimedRequest> timed = {
+        {Request(0, 2000, 16, starved), 0.0},
+        {Request(1, 40000, 16, entitled), 0.0},
+    };
+    for (StepModel sm : {StepModel::Analytic, StepModel::EventDriven}) {
+        EngineOptions opts;
+        opts.allocator = AllocatorKind::LazyChunk;
+        opts.stepModel = sm;
+        if (sm == StepModel::EventDriven)
+            opts.prefillChunkTokens = 2048;
+        opts.tenantBudgets = {{0, 0.001}, {1, 0.95}};
+        auto r = ServingEngine(cluster, model, timed, opts).run();
+        EXPECT_EQ(r.rejectedRequests, 2u) << stepModelName(sm);
+        EXPECT_EQ(r.completedRequests, 0u) << stepModelName(sm);
+        EXPECT_GT(r.budgetDeferrals, 0u) << stepModelName(sm);
+    }
+}
+
 TEST(Engine, TechniqueOrderingOnLongContext)
 {
     // The paper's central result in miniature: every added technique

@@ -387,6 +387,33 @@ TEST(LengthHistogram, FromFileSamplesWeightedBins)
     EXPECT_GT(large, 0u);
 }
 
+TEST(LengthHistogram, FromFileErrorPathsNameFileAndLine)
+{
+    const char *path = "LENGTH_HIST_BAD_TEST.tmp";
+    auto write = [&](const char *text) {
+        std::ofstream os(path, std::ios::trunc);
+        os << text;
+    };
+    // Truncated row: a prompt with no decode column.
+    write("1000 16 2\n4000\n");
+    EXPECT_DEATH(LengthHistogram::fromFile(path),
+                 "LENGTH_HIST_BAD_TEST.tmp:2: expected");
+    // Non-numeric where a number is required.
+    write("1000 sixteen\n");
+    EXPECT_DEATH(LengthHistogram::fromFile(path),
+                 "LENGTH_HIST_BAD_TEST.tmp:1: expected");
+    // Non-numeric weight column.
+    write("1000 16 heavy\n");
+    EXPECT_DEATH(LengthHistogram::fromFile(path),
+                 "LENGTH_HIST_BAD_TEST.tmp:1: bad weight");
+    // Comments-only file: opens fine but yields no bins.
+    write("# nothing here\n\n");
+    EXPECT_DEATH(LengthHistogram::fromFile(path), "has no bins");
+    std::remove(path);
+    EXPECT_DEATH(LengthHistogram::fromFile(path),
+                 "cannot open length histogram");
+}
+
 // --- WorkloadSpec: bit-identity with the legacy composition. ------------
 
 TEST(WorkloadSpec, TableTaskPoissonMatchesFreeFunctions)
@@ -568,6 +595,33 @@ TEST(Replay, SaveLoadRoundTripIsExact)
     }
 }
 
+TEST(Replay, LoadReportsFileLineColumnOnMalformedInput)
+{
+    const char *path = "REPLAY_BAD_TEST.tmp";
+    auto write = [&](const char *text) {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << text;
+    };
+    // Empty file: not even a top-level object.
+    write("");
+    EXPECT_DEATH(loadWorkload(path),
+                 "REPLAY_BAD_TEST.tmp:1:1: bad trace file: "
+                 "expected top-level object \\(at byte 0\\)");
+    // Truncated mid-object: the file ends inside a request entry.
+    write("{\"format\": \"pimphony-trace-v1\",\n"
+          " \"requests\": [\n"
+          "   {\"id\": 0, \"context\": 100,");
+    EXPECT_DEATH(loadTrace(path),
+                 "REPLAY_BAD_TEST.tmp:3:.*expected string");
+    // Non-numeric field value.
+    write("{\"format\": \"pimphony-trace-v1\",\n"
+          " \"requests\": [{\"id\": x}]}");
+    EXPECT_DEATH(loadTrace(path),
+                 "REPLAY_BAD_TEST.tmp:2:.*expected number");
+    std::remove(path);
+    EXPECT_DEATH(loadTrace(path), "cannot open trace");
+}
+
 // --- Sorted-arrival guard. ----------------------------------------------
 
 TEST(Arrivals, RequireSortedAcceptsSortedAndDiesOnUnsorted)
@@ -579,6 +633,18 @@ TEST(Arrivals, RequireSortedAcceptsSortedAndDiesOnUnsorted)
               timed.back().arrivalSeconds);
     EXPECT_DEATH(requireSortedByArrival(timed, "test"),
                  "arrivals out of order");
+}
+
+TEST(Arrivals, RequireSortedReportsIndexIdsAndTimestamps)
+{
+    // The failure message must identify the first out-of-order
+    // position and both offending entries, so a bad hand-built
+    // trace is diagnosable from the log line alone.
+    std::vector<TimedRequest> timed = {{{7, 100, 8}, 2.0},
+                                       {{3, 100, 8}, 1.0}};
+    EXPECT_DEATH(requireSortedByArrival(timed, "ctx"),
+                 "ctx: arrivals out of order at index 1 "
+                 "\\(request 3 at 1 after request 7 at 2\\)");
 }
 
 TEST(Trace, NamesAndSuites)
