@@ -132,13 +132,17 @@ class LazyChunkAllocator : public KvAllocator
 
     Bytes chunkBytes() const { return chunk_; }
     std::uint64_t chunksInUse() const { return chunksInUse_; }
+    std::uint64_t totalChunks() const { return totalChunks_; }
+
+    /** Chunks needed to back @p tokens of KV (last chunk may be
+     *  partially filled). Exposed for the prefix cache, which splits
+     *  custody of a request's KV between shared and unique chunks. */
+    std::uint64_t chunksFor(Tokens tokens) const;
 
     /** VA2PA table footprint: one entry (8 B) per mapped chunk. */
     Bytes va2paBytes() const { return chunksInUse_ * 8; }
 
   private:
-    std::uint64_t chunksFor(Tokens tokens) const;
-
     Bytes chunk_;
     std::unordered_map<RequestId, Tokens> tokens_;
     Tokens totalTokens_ = 0; ///< running sum of tokens_ values

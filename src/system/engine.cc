@@ -133,6 +133,20 @@ ServingEngine::ServingEngine(const ClusterConfig &cluster,
     allocator_ = makeAllocator(options_.allocator, kv_capacity,
                                model_.kvBytesPerToken(),
                                model_.contextWindow);
+    prefixActive_ = options_.prefixCache.enabled;
+    if (prefixActive_) {
+        // The tree shares the allocator's chunks; only the paged
+        // allocator has chunks to share, and only the event-driven
+        // model has the Prefilling state warm admissions skip.
+        if (options_.allocator != AllocatorKind::LazyChunk)
+            fatal("prefix caching requires the LazyChunk allocator");
+        if (options_.stepModel != StepModel::EventDriven)
+            fatal("prefix caching requires the event-driven step "
+                  "model");
+        prefixCache_ = std::make_unique<PrefixCache>(
+            static_cast<LazyChunkAllocator &>(*allocator_),
+            options_.prefixCache);
+    }
     module_ = std::make_unique<PimModuleModel>(cluster_.module);
     xpu_ = std::make_unique<XpuModel>(cluster_.xpu);
     sortByArrival(requests);
@@ -226,13 +240,21 @@ ServingEngine::budgetAdmits(unsigned tenant, double need,
 }
 
 void
-ServingEngine::tenantReserve(const Request &request)
+ServingEngine::tenantReserve(const Request &request, double charge_tokens)
 {
     if (!tenantsActive_)
         return;
+    double tokens = charge_tokens >= 0.0
+                        ? charge_tokens
+                        : static_cast<double>(request.contextTokens +
+                                              request.decodeTokens);
+    // Remember an overridden (fractionally shared) charge so the
+    // release refunds exactly what was reserved, no matter how the
+    // entry's refcount moves in between.
+    if (prefixActive_ && charge_tokens >= 0.0)
+        prefixTenantCharge_[request.id] = charge_tokens;
     TenantState &ts = tenantState(request.cls.tenant);
-    ts.reservedTokens += static_cast<double>(request.contextTokens +
-                                             request.decodeTokens);
+    ts.reservedTokens += tokens;
     ++ts.admitted;
     if (capacityTokens_ > 0.0)
         ts.peakShare = std::max(ts.peakShare,
@@ -244,9 +266,17 @@ ServingEngine::tenantRelease(const Request &request)
 {
     if (!tenantsActive_)
         return;
+    double tokens = static_cast<double>(request.contextTokens +
+                                        request.decodeTokens);
+    if (prefixActive_) {
+        auto it = prefixTenantCharge_.find(request.id);
+        if (it != prefixTenantCharge_.end()) {
+            tokens = it->second;
+            prefixTenantCharge_.erase(it);
+        }
+    }
     TenantState &ts = tenantState(request.cls.tenant);
-    ts.reservedTokens -= static_cast<double>(request.contextTokens +
-                                             request.decodeTokens);
+    ts.reservedTokens -= tokens;
     if (ts.reservedTokens < 0.0)
         ts.reservedTokens = 0.0;
 }
@@ -312,38 +342,191 @@ ServingEngine::tryAdmitOne(const TimedRequest &timed, double &prefill_sec,
         ++result_.rejectedRequests;
         return AdmitOutcome::Rejected;
     }
+    // Prefix probe (read-only): the best reusable tree entry —
+    // retained session history first, then the declared workload
+    // prefix. A declared prefix nobody has cached yet makes this
+    // request its publisher: it prefills cold, but its prefix chunks
+    // go into the tree for everyone behind it.
+    std::uint64_t key = 0;
+    Tokens share = 0;
+    std::uint64_t publish_key = 0;
+    bool probed = false;
+    if (prefixActive_) {
+        if (options_.prefixCache.sessionReuse &&
+            front.session != kNoSession && front.turn > 0) {
+            std::uint64_t skey =
+                PrefixCache::sessionKey(front.session, front.turn - 1);
+            share = prefixCache_->peek(skey);
+            if (share > 0)
+                key = skey;
+            probed = true;
+        }
+        if (key == 0 && front.prefixHash != 0 &&
+            front.prefixTokens > 0 &&
+            front.prefixTokens <= front.contextTokens) {
+            std::uint64_t pkey =
+                PrefixCache::prefixKey(front.prefixHash);
+            share = prefixCache_->peek(pkey);
+            if (share > 0)
+                key = pkey;
+            else if (!prefixCache_->knows(pkey))
+                publish_key = pkey;
+            probed = true;
+        }
+    }
+    Tokens cached = std::min<Tokens>(share, front.contextTokens);
     // Tenant budget: within the guarantee always admissible (memory
-    // permitting); beyond it only while borrowing is allowed.
+    // permitting); beyond it only while borrowing is allowed. A warm
+    // hit charges its unique tokens in full but the shared prefix
+    // only at 1 / (consumers after this one) — the chunks serve all
+    // of them at once, and the PR 5 work-conserving guarantee holds
+    // because checks and reservations use the same reduced charge.
+    double charge_tokens = static_cast<double>(final_tokens);
+    if (cached > 0)
+        charge_tokens =
+            static_cast<double>(final_tokens - cached) +
+            static_cast<double>(cached) /
+                static_cast<double>(prefixCache_->refsOf(key) + 1);
     if (budgetsActive_ &&
-        !budgetAdmits(front.cls.tenant,
-                      static_cast<double>(final_tokens), allow_borrow))
+        !budgetAdmits(front.cls.tenant, charge_tokens, allow_borrow))
         return AdmitOutcome::BudgetBlocked;
     // Headroom: only admit when the full decode trajectory fits
     // next to the current reservations (avoids preemption storms).
-    if (allocator_->reservedBytes() + need > allocator_->capacity())
+    // Warm admissions need headroom only for their unique share;
+    // under pressure the cache sheds idle entries first.
+    Bytes need_unique = model_.kvBytesPerToken() * (final_tokens - cached);
+    if (allocator_->reservedBytes() + need_unique >
+        allocator_->capacity()) {
+        if (!prefixActive_ || !prefixCache_->evictFor(need_unique))
+            return AdmitOutcome::Blocked;
+    }
+    // Commit: pin the entry (consumer reference), or seed the tree
+    // as the prefix's publisher, then reserve the unique share.
+    Tokens custody = 0;
+    bool publisher = false;
+    if (key != 0) {
+        Tokens s = prefixCache_->acquire(key, now(), front.cls.tier);
+        custody = std::min<Tokens>(s, front.contextTokens);
+    } else if (probed) {
+        prefixCache_->noteMiss();
+    }
+    if (publish_key != 0 &&
+        prefixCache_->publish(publish_key, 0, 0, front.prefixTokens,
+                              front.prefixTokens, now(),
+                              front.cls.tier, /*hold=*/true,
+                              /*ready=*/false)) {
+        publisher = true;
+        key = publish_key;
+        custody = front.prefixTokens;
+    }
+    if (!allocator_->tryAdmit(front.id,
+                              front.contextTokens - custody)) {
+        if (key != 0)
+            prefixCache_->release(key);
         return AdmitOutcome::Blocked;
-    if (!allocator_->tryAdmit(front.id, front.contextTokens))
-        return AdmitOutcome::Blocked;
-    tenantReserve(front);
+    }
+    // Scalar prefill is a serialized time charge, not chunk items:
+    // the prefix KV is modelled present once the charge is taken, so
+    // the entry opens at admission. The chunked path opens it from
+    // the prefill-completion callback instead.
+    if (publisher && options_.prefillChunkTokens == 0)
+        prefixCache_->markReady(key, now());
+    tenantReserve(front, cached > 0 ? charge_tokens : -1.0);
     if (options_.chargePrefill || options_.prefillChunkTokens > 0) {
-        prefill_sec = prefillSeconds(model_, front.contextTokens,
-                                     cluster_.xpu,
-                                     cluster_.prefillEngines());
+        Tokens warm = publisher ? 0 : custody;
+        if (warm > 0) {
+            double cold = prefillSeconds(model_, front.contextTokens,
+                                         cluster_.xpu,
+                                         cluster_.prefillEngines());
+            prefill_sec = prefillSecondsFrom(model_, warm,
+                                             front.contextTokens,
+                                             cluster_.xpu,
+                                             cluster_.prefillEngines());
+            result_.savedPrefillSeconds += cold - prefill_sec;
+            result_.prefixCachedTokens += warm;
+        } else {
+            prefill_sec = prefillSeconds(model_, front.contextTokens,
+                                         cluster_.xpu,
+                                         cluster_.prefillEngines());
+        }
         result_.prefillSeconds += prefill_sec;
     }
+    if (prefixActive_) {
+        pendingCacheKey_ = key;
+        pendingCachedTokens_ = custody;
+        pendingWarmTokens_ = publisher ? 0 : custody;
+        pendingPublisher_ = publisher;
+        prefixSampleOccupancy();
+    }
     return AdmitOutcome::Admitted;
+}
+
+ServingEngine::Active
+ServingEngine::takeAdmitted(const TimedRequest &timed)
+{
+    // Materialize the Active record for the admission tryAdmitOne
+    // just committed, consuming the prefix-cache handoff it stashed
+    // (all zero when caching is off — the record is then identical
+    // to the pre-cache construction).
+    Active a{timed.request, 0, timed.arrivalSeconds, -1.0};
+    a.cachedTokens = pendingCachedTokens_;
+    a.warmTokens = pendingWarmTokens_;
+    a.cacheKey = pendingCacheKey_;
+    a.cachePublisher = pendingPublisher_;
+    pendingCachedTokens_ = 0;
+    pendingWarmTokens_ = 0;
+    pendingCacheKey_ = 0;
+    pendingPublisher_ = false;
+    return a;
+}
+
+Tokens
+ServingEngine::prefixWarmTokens(const Request &r) const
+{
+    // Routing probe: how many of this request's context tokens this
+    // replica's tree could serve right now. Read-only (no stats, no
+    // LRU touch) so fleet probes never perturb the replica state.
+    if (!prefixActive_)
+        return 0;
+    Tokens share = 0;
+    if (options_.prefixCache.sessionReuse && r.session != kNoSession &&
+        r.turn > 0)
+        share = prefixCache_->peek(
+            PrefixCache::sessionKey(r.session, r.turn - 1));
+    if (share == 0 && r.prefixHash != 0 && r.prefixTokens > 0 &&
+        r.prefixTokens <= r.contextTokens)
+        share = prefixCache_->peek(PrefixCache::prefixKey(r.prefixHash));
+    return std::min<Tokens>(share, r.contextTokens);
+}
+
+void
+ServingEngine::prefixSampleOccupancy()
+{
+    // Shared (tree custody) vs unique (per-request) split of the
+    // allocator's reservation — allocated == shared + unique holds
+    // structurally because the tree reserves its chunks through the
+    // same allocator.
+    Bytes shared = prefixCache_->heldBytes();
+    Bytes unique = allocator_->reservedBytes() - shared;
+    prefixSharedPeak_ = std::max(prefixSharedPeak_, shared);
+    prefixUniquePeak_ = std::max(prefixUniquePeak_, unique);
 }
 
 bool
 ServingEngine::advanceMember(Active &a, double completion_clock,
                              std::deque<TimedRequest> &requeue)
 {
+    // The allocator holds this request's KV minus whatever the prefix
+    // cache holds on its behalf (cachedTokens == 0 when caching is
+    // off, making the subtraction a no-op).
     Tokens total = a.request.contextTokens + a.generated + 1;
-    if (!allocator_->grow(a.request.id, total)) {
+    if (!allocator_->grow(a.request.id, total - a.cachedTokens)) {
         // Out of memory: preempt (vLLM-style recompute); the
         // request re-queues with its original arrival time.
         allocator_->release(a.request.id);
         tenantRelease(a.request);
+        if (prefixActive_ && a.cacheKey != 0)
+            prefixCache_->release(a.cacheKey);
         ++result_.preemptions;
         requeue.push_back({a.request, a.arrival});
         return false;
@@ -373,7 +556,34 @@ ServingEngine::advanceMember(Active &a, double completion_clock,
     }
     a.lastTokenAt = completion_clock;
     if (a.generated >= a.request.decodeTokens) {
-        allocator_->release(a.request.id);
+        if (prefixActive_ && options_.prefixCache.sessionReuse &&
+            a.request.session != kNoSession &&
+            sessions_.count(a.request.id)) {
+            // A declared successor exists: hand the full KV (context
+            // plus everything generated) to the tree under this
+            // turn's session key so turn k+1 prefills only its delta.
+            // The consumer chunks are released and the cache
+            // re-admits the same count — net-zero occupancy — and a
+            // warm turn chains onto its own parent entry.
+            Tokens total_kv = a.request.contextTokens + a.generated;
+            Tokens own = total_kv - a.cachedTokens;
+            Tokens parent_share =
+                a.cacheKey != 0
+                    ? std::min<Tokens>(prefixCache_->peek(a.cacheKey),
+                                       total_kv)
+                    : 0;
+            allocator_->release(a.request.id);
+            prefixCache_->publish(
+                PrefixCache::sessionKey(a.request.session,
+                                        a.request.turn),
+                a.cacheKey, parent_share, total_kv, own,
+                completion_clock, a.request.cls.tier, /*hold=*/false,
+                /*ready=*/true);
+        } else {
+            allocator_->release(a.request.id);
+        }
+        if (prefixActive_ && a.cacheKey != 0)
+            prefixCache_->release(a.cacheKey);
         tenantRelease(a.request);
         ++result_.completedRequests;
         if (classesActive_)
@@ -790,10 +1000,26 @@ ServingEngine::evStartPrefill(Active a, double now)
     // apportion the scalar charge tryAdmitOne already accounted, so
     // chunked and scalar prefill cost the same total device time.
     EventRun &ev = *ev_;
-    auto chunk_secs = prefillChunkSeconds(
-        model_, a.request.contextTokens, options_.prefillChunkTokens,
-        cluster_.xpu, cluster_.prefillEngines());
+    // A warm prefix skips its cached share: the chunk plan covers
+    // only [warmTokens, context), apportioning the reduced scalar
+    // charge. warmTokens == 0 takes the cold plan bit for bit.
+    auto chunk_secs =
+        (prefixActive_ && a.warmTokens > 0)
+            ? prefillChunkSecondsFrom(model_, a.warmTokens,
+                                      a.request.contextTokens,
+                                      options_.prefillChunkTokens,
+                                      cluster_.xpu,
+                                      cluster_.prefillEngines())
+            : prefillChunkSeconds(model_, a.request.contextTokens,
+                                  options_.prefillChunkTokens,
+                                  cluster_.xpu,
+                                  cluster_.prefillEngines());
     if (chunk_secs.empty()) {
+        // Fully cached context: nothing left to prefill. A publisher
+        // with an empty plan (zero-context request) opens its entry
+        // immediately.
+        if (prefixActive_ && a.cachePublisher && a.cacheKey != 0)
+            prefixCache_->markReady(a.cacheKey, now);
         ev.readyPool.push_back(std::move(a));
         return;
     }
@@ -837,6 +1063,11 @@ ServingEngine::evStartPrefill(Active a, double now)
             --run.prefilling;
             run.prefillingTokens -= holder_tokens;
             evAccountTo(t);
+            // Publisher's prefix KV is now materialized: open the
+            // tree entry for the requests queued behind it.
+            if (prefixActive_ && holder->cachePublisher &&
+                holder->cacheKey != 0)
+                prefixCache_->markReady(holder->cacheKey, t);
             run.readyPool.push_back(std::move(*holder));
             evFormNewCohorts(t);
         });
@@ -874,7 +1105,7 @@ ServingEngine::evAdmitArrivals(double now)
             ev.arrived.pop_front();
             if (outcome != AdmitOutcome::Admitted)
                 continue;
-            Active a{timed.request, 0, timed.arrivalSeconds, -1.0};
+            Active a = takeAdmitted(timed);
             if (ev.chunked) {
                 evStartPrefill(std::move(a), now);
             } else {
@@ -926,7 +1157,7 @@ ServingEngine::evAdmitArrivals(double now)
                          static_cast<std::ptrdiff_t>(i));
         if (outcome != AdmitOutcome::Admitted)
             continue; // Rejected: already counted
-        Active a{taken.request, 0, taken.arrivalSeconds, -1.0};
+        Active a = takeAdmitted(taken);
         if (ev.chunked) {
             evStartPrefill(std::move(a), now);
         } else {
@@ -1418,6 +1649,8 @@ ServingEngine::evacuate(bool kill_in_flight)
     auto drop = [&](Active &a) {
         allocator_->release(a.request.id);
         tenantRelease(a.request);
+        if (prefixActive_ && a.cacheKey != 0)
+            prefixCache_->release(a.cacheKey);
         out.lostTokens += a.generated;
         out.inFlight.push_back({a.request, a.arrival});
     };
@@ -1434,6 +1667,10 @@ ServingEngine::evacuate(bool kill_in_flight)
     ev.prefillHolders.clear();
     ev.prefilling = 0;
     ev.prefillingTokens = 0.0;
+    // The crash loses the replica's KV wholesale — retained prefixes
+    // included. The tree restarts cold after restoreService().
+    if (prefixActive_)
+        prefixCache_->clear();
     sortByArrival(out.inFlight);
     return out;
 }
@@ -1495,6 +1732,17 @@ ServingEngine::finalize()
 
     result_.simulatedSeconds = ev.endTime;
     result_.simEvents = ev.queue.dispatched();
+    if (prefixActive_) {
+        const PrefixCacheStats &pc = prefixCache_->stats();
+        result_.prefixHits = pc.hits;
+        result_.prefixMisses = pc.misses;
+        result_.prefixEvictions = pc.evictions;
+        result_.prefixHitRate =
+            safeRatio(static_cast<double>(pc.hits),
+                      static_cast<double>(pc.hits + pc.misses));
+        result_.sharedKvPeakBytes = prefixSharedPeak_;
+        result_.uniqueKvPeakBytes = prefixUniquePeak_;
+    }
     finalizeResult(ev.acc, ev.batchTime, ev.capacityTime);
     return result_;
 }

@@ -223,6 +223,33 @@ struct EngineResult
     /** Decode-side preemption splits (lower-tier in-flight decode
      *  items sliced by a tier-aware policy; charge conserved). */
     std::uint64_t decodePreemptSlices = 0;
+
+    // --- Prefix-sharing metrics (alloc/prefix_cache.hh). All zero
+    // --- when caching is off — the subsystem is strictly additive.
+
+    /** Admissions served from the prefix tree / that probed and
+     *  found nothing reusable. */
+    std::uint64_t prefixHits = 0;
+    std::uint64_t prefixMisses = 0;
+
+    /** Cache entries evicted under capacity pressure. */
+    std::uint64_t prefixEvictions = 0;
+
+    /** prefixHits / (prefixHits + prefixMisses); 0 with no probes. */
+    double prefixHitRate = 0.0;
+
+    /** Prefill tokens skipped because their KV was cached. */
+    std::uint64_t prefixCachedTokens = 0;
+
+    /** Prefill seconds the skipped tokens would have cost (each
+     *  admission's cold scalar charge minus its warm charge). */
+    double savedPrefillSeconds = 0.0;
+
+    /** Peak chunk custody of the prefix tree (shared bytes) and of
+     *  per-request KV outside it (unique bytes); the two always sum
+     *  to the allocator's reservation at the sampling instant. */
+    Bytes sharedKvPeakBytes = 0;
+    Bytes uniqueKvPeakBytes = 0;
 };
 
 class ServingEngine
@@ -379,6 +406,20 @@ class ServingEngine
      */
     EngineResult finalize();
 
+    /**
+     * Shareable cached tokens the prefix tree could serve @p r right
+     * now (retained session history first, then the declared
+     * prefix); 0 when caching is off or nothing is warm. Read-only —
+     * the prefix-affinity router's per-replica warmth signal.
+     */
+    Tokens prefixWarmTokens(const Request &r) const;
+
+    /** Read-only prefix-cache view (null when caching is off). */
+    const PrefixCache *prefixCache() const { return prefixCache_.get(); }
+
+    /** Read-only allocator view (conservation checks in tests). */
+    const KvAllocator &allocatorView() const { return *allocator_; }
+
   private:
     struct Active
     {
@@ -388,6 +429,26 @@ class ServingEngine
 
         /** Completion time of the latest token (< 0: none yet). */
         double lastTokenAt = -1.0;
+
+        // --- Prefix-sharing state (all-zero when caching is off). --
+
+        /** Tokens of this request's KV held by the prefix tree
+         *  rather than its own allocation (custody offset: the
+         *  allocator account covers context + generated minus
+         *  this). */
+        Tokens cachedTokens = 0;
+
+        /** Warm-hit tokens whose prefill charge was skipped
+         *  (== cachedTokens for consumers; 0 for the publisher,
+         *  which prefills its prefix cold). */
+        Tokens warmTokens = 0;
+
+        /** Tree entry this request references (0 = none). */
+        std::uint64_t cacheKey = 0;
+
+        /** This request is prefilling a new entry cold; its prefill
+         *  completion marks the entry ready. */
+        bool cachePublisher = false;
     };
 
     /**
@@ -588,8 +649,15 @@ class ServingEngine
     /** Budget verdict for @p tenant wanting @p need more tokens. */
     bool budgetAdmits(unsigned tenant, double need, bool allow_borrow);
 
-    /** Reserve / release @p tokens of tenant budget accounting. */
-    void tenantReserve(const Request &request);
+    /**
+     * Reserve / release tenant budget accounting. By default a
+     * request is charged context + decode tokens; @p charge_tokens
+     * >= 0 overrides it (prefix sharing charges shared chunks
+     * fractionally — see tryAdmitOne), and the charged amount is
+     * remembered so release refunds exactly what was reserved.
+     */
+    void tenantReserve(const Request &request,
+                       double charge_tokens = -1.0);
     void tenantRelease(const Request &request);
 
     /** Advance the per-tenant occupancy integrals by @p dt. */
@@ -618,6 +686,36 @@ class ServingEngine
     std::deque<TimedRequest> pending_;
     std::vector<Active> active_;
     std::unique_ptr<KvAllocator> allocator_;
+
+    // --- Prefix-sharing state (prefixCache.enabled only). -----------
+
+    /** The CoW prefix tree; declared after allocator_ so its chunk
+     *  custody is released before the allocator dies. */
+    std::unique_ptr<PrefixCache> prefixCache_;
+
+    /** options_.prefixCache.enabled (hot-path guard). */
+    bool prefixActive_ = false;
+
+    /** Fractional tenant charges by request id (refunded exactly). */
+    std::unordered_map<RequestId, double> prefixTenantCharge_;
+
+    /** tryAdmitOne -> Active handoff of the admitted request's
+     *  prefix state (custody offset, warm tokens, key, publisher). */
+    Tokens pendingCachedTokens_ = 0;
+    Tokens pendingWarmTokens_ = 0;
+    std::uint64_t pendingCacheKey_ = 0;
+    bool pendingPublisher_ = false;
+
+    /** Peak shared/unique custody samples (EngineResult). */
+    Bytes prefixSharedPeak_ = 0;
+    Bytes prefixUniquePeak_ = 0;
+
+    /** Stamp an Active from the pending prefix-admission state. */
+    Active takeAdmitted(const TimedRequest &timed);
+
+    /** Sample shared/unique custody peaks (prefixActive_ only). */
+    void prefixSampleOccupancy();
+
     std::unique_ptr<PimModuleModel> module_;
     std::unique_ptr<XpuModel> xpu_;
     std::vector<double> latencies_;

@@ -16,8 +16,9 @@ std::string
 routePolicyName(RoutePolicy policy)
 {
     switch (policy) {
-      case RoutePolicy::RoundRobin:  return "round-robin";
-      case RoutePolicy::LeastLoaded: return "least-loaded";
+      case RoutePolicy::RoundRobin:     return "round-robin";
+      case RoutePolicy::LeastLoaded:    return "least-loaded";
+      case RoutePolicy::PrefixAffinity: return "prefix-affinity";
     }
     return "?";
 }
@@ -67,9 +68,9 @@ FleetEngine::pickReplica(const TimedRequest &timed)
         auto it = sessionReplica_.find(session);
         if (it != sessionReplica_.end()) {
             if (routable_[it->second]) {
-                // Keep the least-loaded signal honest for the
-                // requests the pin bypasses the policy for.
-                if (options_.policy == RoutePolicy::LeastLoaded)
+                // Keep the load signal honest for the requests the
+                // pin bypasses the policy for.
+                if (usesLoads())
                     loads_[it->second] += static_cast<double>(
                         timed.request.contextTokens +
                         timed.request.decodeTokens);
@@ -88,10 +89,30 @@ FleetEngine::pickReplica(const TimedRequest &timed)
         rrNext_ = (pick + 1) % R;
     } else {
         std::size_t best = R; // sentinel: first routable wins
-        for (std::size_t i = 0; i < R; ++i)
-            if (routable_[i] &&
-                (best == R || loads_[i] < loads_[best]))
-                best = i;
+        if (options_.policy == RoutePolicy::PrefixAffinity) {
+            // Warmest cache wins; ties fall to the lighter load,
+            // then the lower index. All-cold requests drop through
+            // to the exact least-loaded decision, so the policy is
+            // decision-identical to LeastLoaded when caching is off.
+            Tokens warmest = 0;
+            for (std::size_t i = 0; i < R; ++i) {
+                if (!routable_[i])
+                    continue;
+                Tokens warm =
+                    (*engines_)[i]->prefixWarmTokens(timed.request);
+                if (warm > warmest ||
+                    (warm == warmest && warm > 0 && best != R &&
+                     loads_[i] < loads_[best])) {
+                    warmest = warm;
+                    best = i;
+                }
+            }
+        }
+        if (best == R)
+            for (std::size_t i = 0; i < R; ++i)
+                if (routable_[i] &&
+                    (best == R || loads_[i] < loads_[best]))
+                    best = i;
         loads_[best] +=
             static_cast<double>(timed.request.contextTokens +
                                 timed.request.decodeTokens);
@@ -139,6 +160,7 @@ FleetEngine::run()
         eng->prepare();
         engines.push_back(std::move(eng));
     }
+    engines_ = &engines; // warmth probes for PrefixAffinity routing
 
     FleetResult fleet;
     fleet.routedRequests.assign(R, 0);
@@ -152,7 +174,7 @@ FleetEngine::run()
     std::size_t next = 0; // next unrouted trace index
 
     auto refreshLoads = [&]() {
-        if (options_.policy != RoutePolicy::LeastLoaded)
+        if (!usesLoads())
             return;
         for (std::size_t i = 0; i < R; ++i)
             loads_[i] = engines[i]->queuedTokens();
@@ -492,7 +514,7 @@ FleetEngine::runWithFaults(
         sort_retries();
     };
     auto refresh_loads = [&]() {
-        if (options_.policy != RoutePolicy::LeastLoaded)
+        if (!usesLoads())
             return;
         for (std::size_t i = 0; i < R; ++i)
             loads_[i] = engines[i]->queuedTokens();
@@ -671,6 +693,15 @@ FleetEngine::aggregateResults(const std::vector<EngineResult> &results)
         agg.decodePreemptSlices += r.decodePreemptSlices;
         agg.tierInversions += r.tierInversions;
         agg.budgetDeferrals += r.budgetDeferrals;
+        agg.prefixHits += r.prefixHits;
+        agg.prefixMisses += r.prefixMisses;
+        agg.prefixEvictions += r.prefixEvictions;
+        agg.prefixCachedTokens += r.prefixCachedTokens;
+        agg.savedPrefillSeconds += r.savedPrefillSeconds;
+        agg.sharedKvPeakBytes =
+            std::max(agg.sharedKvPeakBytes, r.sharedKvPeakBytes);
+        agg.uniqueKvPeakBytes =
+            std::max(agg.uniqueKvPeakBytes, r.uniqueKvPeakBytes);
 
         agg.attentionSeconds += r.attentionSeconds;
         agg.fcSeconds += r.fcSeconds;
@@ -750,6 +781,10 @@ FleetEngine::aggregateResults(const std::vector<EngineResult> &results)
     if (agg.simulatedSeconds > 0.0)
         agg.tokensPerSecond = static_cast<double>(agg.generatedTokens) /
                               agg.simulatedSeconds;
+    if (agg.prefixHits + agg.prefixMisses > 0)
+        agg.prefixHitRate =
+            static_cast<double>(agg.prefixHits) /
+            static_cast<double>(agg.prefixHits + agg.prefixMisses);
     if (lat_w > 0.0)
         agg.avgRequestLatency = lat_sum / lat_w;
     if (ttft_w > 0.0)

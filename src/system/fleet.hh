@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -59,6 +60,18 @@ enum class RoutePolicy {
      * and identical between serial and parallel runs.
      */
     LeastLoaded,
+
+    /**
+     * Prefix-affinity routing: the replica whose prefix cache is
+     * warmest for the request (ServingEngine::prefixWarmTokens —
+     * retained session KV or a cached workload prefix), ties broken
+     * by the least-loaded signal and then the lowest index. A
+     * request no replica is warm for falls back to the exact
+     * LeastLoaded decision; with prefix caching disabled every
+     * warmth reads 0, so routing is decision-identical to
+     * LeastLoaded. Session pinning still precedes the policy.
+     */
+    PrefixAffinity,
 };
 
 std::string routePolicyName(RoutePolicy policy);
@@ -267,13 +280,26 @@ class FleetEngine
     static EngineResult
     aggregateResults(const std::vector<EngineResult> &results);
 
+    /** Policies that read and maintain the queued-token signal. */
+    bool usesLoads() const
+    {
+        return options_.policy == RoutePolicy::LeastLoaded ||
+               options_.policy == RoutePolicy::PrefixAffinity;
+    }
+
     ClusterConfig cluster_;
     LlmConfig model_;
     std::vector<TimedRequest> trace_;
     FleetOptions options_;
 
-    /** Router load signal: queued tokens per replica (LeastLoaded). */
+    /** Router load signal: queued tokens per replica (LeastLoaded
+     *  and PrefixAffinity). */
     std::vector<double> loads_;
+
+    /** Replica view for warmth probes (PrefixAffinity); set for the
+     *  lifetime of run(). */
+    const std::vector<std::unique_ptr<ServingEngine>> *engines_ =
+        nullptr;
 
     /** Health state machine, one entry per replica (fault runs). */
     std::vector<ReplicaHealth> health_;

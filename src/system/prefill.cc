@@ -82,6 +82,68 @@ prefillChunkSeconds(const LlmConfig &model, Tokens tokens,
     return out;
 }
 
+double
+prefillSecondsFrom(const LlmConfig &model, Tokens cached, Tokens total,
+                   const XpuConfig &config, unsigned n_engines)
+{
+    if (cached >= total)
+        return 0.0;
+    // The difference form (not a rebuilt flops/bandwidth max over the
+    // delta) guarantees warm + cached charges conserve the cold
+    // charge exactly: prefillSecondsFrom(0, c) +
+    // prefillSecondsFrom(c, t) == prefillSeconds(t).
+    return prefillSeconds(model, total, config, n_engines) -
+           prefillSeconds(model, cached, config, n_engines);
+}
+
+std::vector<PrefillChunk>
+prefillChunksFrom(const LlmConfig &model, Tokens cached, Tokens total,
+                  Tokens chunk_tokens)
+{
+    std::vector<PrefillChunk> out;
+    if (cached >= total)
+        return out;
+    if (chunk_tokens == 0)
+        chunk_tokens = total - cached;
+    out.reserve(static_cast<std::size_t>(
+        ceilDiv<Tokens>(total - cached, chunk_tokens)));
+    double linear_per_token =
+        2.0 * static_cast<double>(model.paramCount());
+    double attn_coeff = 2.0 * model.nLayers * model.nHeads * model.headDim;
+    for (Tokens start = cached; start < total; start += chunk_tokens) {
+        PrefillChunk c;
+        c.firstToken = start;
+        c.tokens = std::min<Tokens>(chunk_tokens, total - start);
+        Tokens end = start + c.tokens;
+        double pairs = static_cast<double>(end) * end -
+                       static_cast<double>(start) * start;
+        c.flops = linear_per_token * static_cast<double>(c.tokens) +
+                  attn_coeff * pairs;
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::vector<double>
+prefillChunkSecondsFrom(const LlmConfig &model, Tokens cached,
+                        Tokens total, Tokens chunk_tokens,
+                        const XpuConfig &config, unsigned n_engines)
+{
+    auto chunks = prefillChunksFrom(model, cached, total, chunk_tokens);
+    std::vector<double> out;
+    out.reserve(chunks.size());
+    if (chunks.empty())
+        return out;
+    double total_flops = 0.0;
+    for (const auto &c : chunks)
+        total_flops += c.flops;
+    double total_sec =
+        prefillSecondsFrom(model, cached, total, config, n_engines);
+    for (const auto &c : chunks)
+        out.push_back(total_sec * c.flops / total_flops);
+    return out;
+}
+
 std::vector<double>
 preemptionSlices(double chunk_seconds, double quantum)
 {

@@ -77,6 +77,40 @@ std::vector<double> prefillChunkSeconds(const LlmConfig &model,
                                         unsigned n_engines);
 
 /**
+ * Warm-prefix delta prefill: seconds to extend an already-prefilled
+ * @p cached -token KV to @p total tokens — exactly
+ * prefillSeconds(total) - prefillSeconds(cached), so skipping a
+ * cached prefix skips precisely the cached share of the scalar
+ * charge (and full-context and warm charges telescope across session
+ * turns). cached == 0 reduces to prefillSeconds() bit for bit.
+ */
+double prefillSecondsFrom(const LlmConfig &model, Tokens cached,
+                          Tokens total, const XpuConfig &config,
+                          unsigned n_engines);
+
+/**
+ * Chunk plan for the delta prefill of [cached, total): the same
+ * e^2 - s^2 causal-attention split as prefillChunks() applied to the
+ * tail only — the delta tokens still attend to the cached prefix.
+ * Chunk FLOPs sum to prefillFlops(total) - prefillFlops(cached);
+ * cached == 0 reproduces prefillChunks() exactly.
+ */
+std::vector<PrefillChunk> prefillChunksFrom(const LlmConfig &model,
+                                            Tokens cached, Tokens total,
+                                            Tokens chunk_tokens);
+
+/**
+ * Per-chunk seconds for the delta plan: prefillSecondsFrom()
+ * apportioned by chunk FLOPs, summing exactly to the scalar delta
+ * charge (the warm analogue of prefillChunkSeconds()).
+ */
+std::vector<double> prefillChunkSecondsFrom(const LlmConfig &model,
+                                            Tokens cached, Tokens total,
+                                            Tokens chunk_tokens,
+                                            const XpuConfig &config,
+                                            unsigned n_engines);
+
+/**
  * Preemption re-plan: the dispatch slices a quantum co-scheduling
  * policy (SchedPolicyKind::ChunkPreempt) serves one chunk's service
  * charge in — full quanta followed by the remainder, matching the

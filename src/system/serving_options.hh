@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/prefix_cache.hh"
 #include "common/types.hh"
 #include "system/sched_policy.hh"
 
@@ -96,6 +97,17 @@ struct ServingOptions
      * cannot head-of-line block the others.
      */
     std::vector<TenantBudget> tenantBudgets;
+
+    /**
+     * Copy-on-write prefix sharing over the paged KV allocator (see
+     * alloc/prefix_cache.hh): requests whose workload-declared
+     * prefix — or retained session history — is cached skip the
+     * cached share of their prefill charge and map the shared chunks
+     * instead of reserving fresh ones. Disabled by default; off
+     * reproduces the cache-less engine bit for bit. Requires the
+     * event-driven model and the LazyChunk allocator.
+     */
+    PrefixCacheOptions prefixCache;
 };
 
 } // namespace pimphony

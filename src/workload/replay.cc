@@ -46,6 +46,14 @@ appendRequestFields(std::string &out, const Request &r)
     out += ", \"gap_slo_s\": " + numberToken(r.cls.gapSloSeconds);
     out += ", \"tenant\": " + numberToken(std::uint64_t{r.cls.tenant});
     out += ", \"weight\": " + numberToken(r.cls.weight);
+    // Only prefix-declaring requests carry the two extra keys, so
+    // prefix-free traces stay byte-identical to the v1 files earlier
+    // PRs committed. The hash is < 2^53 by construction (trace.hh),
+    // so the all-numeric parser round-trips it exactly.
+    if (r.prefixHash != 0) {
+        out += ", \"prefix_hash\": " + numberToken(r.prefixHash);
+        out += ", \"prefix_tokens\": " + numberToken(r.prefixTokens);
+    }
 }
 
 /** Cursor over the loaded file for the minimal parser below. */
@@ -173,6 +181,10 @@ requestFromFields(const std::map<std::string, double> &fields,
     r.cls.gapSloSeconds = fieldOr(fields, "gap_slo_s", 0.0);
     r.cls.tenant = static_cast<unsigned>(fieldOr(fields, "tenant", 0.0));
     r.cls.weight = fieldOr(fields, "weight", 1.0);
+    r.prefixHash =
+        static_cast<std::uint64_t>(fieldOr(fields, "prefix_hash", 0.0));
+    r.prefixTokens =
+        static_cast<Tokens>(fieldOr(fields, "prefix_tokens", 0.0));
     return r;
 }
 

@@ -27,6 +27,12 @@ workloadSessionSeed(std::uint64_t build_seed)
     return build_seed ^ 0xc2b2ae3d27d4eb4fULL;
 }
 
+std::uint64_t
+workloadPrefixSeed(std::uint64_t build_seed)
+{
+    return build_seed ^ 0xa0761d6478bd642fULL;
+}
+
 std::unique_ptr<ArrivalProcess>
 makeArrivalProcess(const ArrivalSpec &arrival)
 {
@@ -106,6 +112,53 @@ class LengthDraws
     std::size_t nextPair_ = 0;
 };
 
+/**
+ * Pooled shared-prefix draws. Inert (no randomness consumed, nothing
+ * stamped) unless the spec declares prefixes, so prefix-free specs
+ * keep building bit-identical workloads.
+ */
+class PrefixDraws
+{
+  public:
+    PrefixDraws(const PrefixSpec &spec, std::uint64_t prefix_seed)
+        : spec_(spec), rng_(prefix_seed),
+          active_(spec.share > 0.0 && spec.tokens > 0)
+    {
+        if (active_ && spec_.pool == 0)
+            fatal("WorkloadSpec: prefix pool must be >= 1");
+    }
+
+    /** Stamp @p r if it draws a pooled prefix its context can hold. */
+    void
+    stamp(Request &r)
+    {
+        if (!active_)
+            return;
+        double u = rng_.uniform();
+        double v = rng_.uniform(); // always drawn: stable stream
+        if (u >= spec_.share || r.contextTokens < spec_.tokens)
+            return;
+        auto idx = static_cast<std::uint64_t>(
+            v * static_cast<double>(spec_.pool));
+        if (idx >= spec_.pool)
+            idx = spec_.pool - 1;
+        // xxhash-style avalanche, masked to 53 bits so the hash
+        // round-trips exactly through the numeric trace format.
+        std::uint64_t h = (idx + 1) * 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+        h *= 0xc4ceb9fe1a85ec53ULL;
+        h ^= h >> 33;
+        h &= (1ULL << 53) - 1;
+        r.prefixHash = h ? h : 1;
+        r.prefixTokens = spec_.tokens;
+    }
+
+  private:
+    const PrefixSpec &spec_;
+    Rng rng_;
+    bool active_;
+};
+
 } // namespace
 
 BuiltWorkload
@@ -117,6 +170,7 @@ buildWorkload(const WorkloadSpec &spec, std::uint64_t seed)
         fatal("WorkloadSpec: negative think time");
 
     LengthDraws lengths(spec.length, workloadLengthSeed(seed));
+    PrefixDraws prefixes(spec.prefix, workloadPrefixSeed(seed));
     auto process = makeArrivalProcess(spec.arrival);
     process->reset(workloadArrivalSeed(seed));
 
@@ -136,6 +190,7 @@ buildWorkload(const WorkloadSpec &spec, std::uint64_t seed)
             LengthPair p = lengths.next();
             Request r(static_cast<RequestId>(i), p.promptTokens,
                       p.decodeTokens, classOf(i));
+            prefixes.stamp(r);
             out.initial.push_back({r, process->next()});
         }
         sortByArrival(out.initial);
@@ -163,6 +218,7 @@ buildWorkload(const WorkloadSpec &spec, std::uint64_t seed)
             r.session = static_cast<SessionId>(s + 1);
             r.turn = k;
             if (k == 0) {
+                prefixes.stamp(r); // a prefix opens the session
                 out.initial.push_back({r, start});
             } else {
                 double think = 0.0;

@@ -119,6 +119,31 @@ struct SessionSpec
     bool carryHistory = true;
 };
 
+/**
+ * Optional shared-prefix declaration. With share > 0 and tokens > 0,
+ * each request (each *session*, under the session model — a shared
+ * prefix is a property of the opening prompt) draws from a pool of
+ * `pool` distinct prefixes with probability `share` and is stamped
+ * with that prefix's hash and length, declaring that its first
+ * `tokens` context tokens are identical across the pool member —
+ * the "millions of requests opening with the same system prompt"
+ * pattern the prefix cache exploits. Requests whose context is
+ * shorter than the declared prefix stay unstamped. The default
+ * (share = 0) stamps nothing and consumes no randomness, so specs
+ * without prefixes build bit-identical workloads to earlier PRs.
+ */
+struct PrefixSpec
+{
+    /** Probability a request/session opens with a pooled prefix. */
+    double share = 0.0;
+
+    /** Distinct prefixes in the pool. */
+    unsigned pool = 1;
+
+    /** Declared shared-prefix length in tokens. */
+    Tokens tokens = 0;
+};
+
 struct WorkloadSpec
 {
     /** Requests to build — or sessions, when session.turns > 1. */
@@ -126,6 +151,8 @@ struct WorkloadSpec
 
     LengthSpec length;
     ArrivalSpec arrival;
+
+    PrefixSpec prefix;
 
     /**
      * Class/tenant mix, assigned cyclically (request — or session —
@@ -157,6 +184,7 @@ struct BuiltWorkload
 std::uint64_t workloadLengthSeed(std::uint64_t build_seed);
 std::uint64_t workloadArrivalSeed(std::uint64_t build_seed);
 std::uint64_t workloadSessionSeed(std::uint64_t build_seed);
+std::uint64_t workloadPrefixSeed(std::uint64_t build_seed);
 
 /** Instantiate the ArrivalProcess a spec names. */
 std::unique_ptr<ArrivalProcess> makeArrivalProcess(

@@ -13,6 +13,7 @@
 #ifndef PIMPHONY_WORKLOAD_TRACE_HH
 #define PIMPHONY_WORKLOAD_TRACE_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -83,6 +84,18 @@ struct Request
 
     /** Zero-based turn index within the session. */
     unsigned turn = 0;
+
+    /**
+     * Workload-declared shared-prefix identity: requests carrying
+     * the same nonzero hash open with the same prefixTokens-long
+     * token prefix and may share its KV through the prefix cache
+     * (0 = no declared prefix, the default). Kept below 2^53 so it
+     * round-trips exactly through the numeric trace format.
+     */
+    std::uint64_t prefixHash = 0;
+
+    /** Length of the declared shared prefix (<= contextTokens). */
+    Tokens prefixTokens = 0;
 };
 
 /** Stamp every request in @p requests with @p cls. */

@@ -201,6 +201,59 @@ TEST(LazyAllocator, CapacityNotMultipleOfChunkSize)
     EXPECT_TRUE(a.tryAdmit(4, 2));
 }
 
+TEST(LazyAllocator, GrowPastCapacityRejectedWithoutSideEffects)
+{
+    LazyChunkAllocator a(2_MiB, kBpt, kTmax, 1_MiB);
+    ASSERT_TRUE(a.tryAdmit(0, 4)); // both chunks
+    Bytes reserved = a.reservedBytes();
+    Bytes used = a.usedBytes();
+    std::uint64_t host = a.hostInterventions();
+    // A failed grow must leave every book untouched: the request
+    // keeps its old token count and no chunk leaks.
+    EXPECT_FALSE(a.grow(0, 5));
+    EXPECT_EQ(a.reservedBytes(), reserved);
+    EXPECT_EQ(a.usedBytes(), used);
+    EXPECT_EQ(a.hostInterventions(), host);
+    EXPECT_EQ(a.chunksInUse(), 2u);
+    // And the request is still live and releasable afterwards.
+    a.release(0);
+    EXPECT_EQ(a.chunksInUse(), 0u);
+}
+
+TEST(LazyAllocator, DoubleReleasePanics)
+{
+    LazyChunkAllocator a(64_GiB, kBpt, kTmax, 1_MiB);
+    ASSERT_TRUE(a.tryAdmit(0, 4));
+    a.release(0);
+    EXPECT_DEATH(a.release(0), "release on unknown request");
+}
+
+TEST(LazyAllocator, ChunksForRoundsAtChunkBoundaries)
+{
+    LazyChunkAllocator a(64_GiB, kBpt, kTmax, 1_MiB);
+    // 512 KiB per token -> 2 tokens per 1 MiB chunk, exactly.
+    EXPECT_EQ(a.chunksFor(0), 0u);
+    EXPECT_EQ(a.chunksFor(1), 1u); // half a chunk still claims one
+    EXPECT_EQ(a.chunksFor(2), 1u); // exactly one chunk
+    EXPECT_EQ(a.chunksFor(3), 2u); // one byte over the boundary
+    EXPECT_EQ(a.chunksFor(4), 2u);
+    EXPECT_EQ(a.chunksFor(2047), 1024u);
+    EXPECT_EQ(a.chunksFor(2048), 1024u);
+    EXPECT_EQ(a.chunksFor(2049), 1025u);
+}
+
+TEST(LazyAllocator, ChunksForOddBytesPerToken)
+{
+    // 3 tokens never tile a 1 MiB chunk evenly (384 KiB per token):
+    // the rounding must stay ceil(bytes / chunk), not tokens-based.
+    LazyChunkAllocator a(64_GiB, 384 * 1024, kTmax, 1_MiB);
+    EXPECT_EQ(a.chunksFor(1), 1u);
+    EXPECT_EQ(a.chunksFor(2), 1u); // 768 KiB
+    EXPECT_EQ(a.chunksFor(3), 2u); // 1.125 MiB
+    EXPECT_EQ(a.chunksFor(8), 3u); // 3 MiB exactly
+    EXPECT_EQ(a.chunksFor(9), 4u);
+}
+
 TEST(Allocator, FactoryAndNames)
 {
     auto st = makeAllocator(AllocatorKind::Static, 1_GiB, kBpt, kTmax);
