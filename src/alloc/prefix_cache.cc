@@ -86,16 +86,22 @@ PrefixCache::acquire(std::uint64_t key, double now, unsigned tier)
         return 0;
     Entry &e = it->second;
     ++e.refs;
+    ++e.consumers;
     e.lastUse = now;
     e.tier = std::min(e.tier, tier);
-    ++stats_.hits;
     return e.shareTokens;
 }
 
 void
 PrefixCache::release(std::uint64_t key)
 {
-    dropRef(key);
+    dropRef(key, /*consumer=*/false);
+}
+
+void
+PrefixCache::releaseConsumer(std::uint64_t key)
+{
+    dropRef(key, /*consumer=*/true);
 }
 
 bool
@@ -156,7 +162,7 @@ PrefixCache::markReady(std::uint64_t key, double now)
 }
 
 void
-PrefixCache::dropRef(std::uint64_t key)
+PrefixCache::dropRef(std::uint64_t key, bool consumer)
 {
     auto it = entries_.find(key);
     if (it == entries_.end())
@@ -164,6 +170,13 @@ PrefixCache::dropRef(std::uint64_t key)
     Entry &e = it->second;
     if (e.refs == 0)
         panic("prefix cache: refcount underflow");
+    if (consumer) {
+        if (e.consumers == 0)
+            panic("prefix cache: consumer refcount underflow");
+        --e.consumers;
+    } else if (e.refs == e.consumers) {
+        panic("prefix cache: structural release of a consumer ref");
+    }
     --e.refs;
     // A publisher abandoning a never-readied entry (preemption, kill)
     // leaves it useless: nobody can ever consume it, so drop it now.
@@ -181,7 +194,7 @@ PrefixCache::erase(EntryMap::iterator it, bool count_eviction)
     if (count_eviction)
         ++stats_.evictions;
     if (victim.parent)
-        dropRef(victim.parent);
+        dropRef(victim.parent, /*consumer=*/false);
 }
 
 PrefixCache::EntryMap::iterator
@@ -215,6 +228,10 @@ PrefixCache::pickVictim()
 bool
 PrefixCache::evictChunks(std::uint64_t chunks_to_free)
 {
+    // Invariant: erase() can cascade — dropping the victim's child
+    // reference may erase an un-ready parent too — so each iteration
+    // re-scans entries_ from scratch (pickVictim) and no iterator is
+    // held across an erase(). Keep it that way if optimizing.
     std::uint64_t freed = 0;
     while (freed < chunks_to_free) {
         auto victim = pickVictim();
@@ -229,6 +246,8 @@ PrefixCache::evictChunks(std::uint64_t chunks_to_free)
 bool
 PrefixCache::evictFor(Bytes bytes_needed)
 {
+    // Same re-scan invariant as evictChunks(): erase() may cascade
+    // into parents, so never hold an iterator across it.
     while (alloc_.capacity() < alloc_.reservedBytes() + bytes_needed) {
         auto victim = pickVictim();
         if (victim == entries_.end())

@@ -94,15 +94,24 @@ class PrefixCache
     Tokens peek(std::uint64_t key) const;
 
     /** Take a consumer reference on a ready entry. @return its
-     *  shareable tokens (0 and no reference on miss). */
+     *  shareable tokens (0 and no reference on miss). Does not count
+     *  stats: an admission may pin, get blocked, and release several
+     *  times before it commits — call noteHit() once at commit. */
     Tokens acquire(std::uint64_t key, double now, unsigned tier);
+
+    /** Count a committed admission served from the tree. */
+    void noteHit() { ++stats_.hits; }
 
     /** Count an admission that had a reusable key but found nothing. */
     void noteMiss() { ++stats_.misses; }
 
-    /** Drop a reference (consumer done, or child entry evicted). A
-     *  never-readied entry whose publisher lets go is erased. */
+    /** Drop a structural reference (publisher's hold, or child entry
+     *  evicted). A never-readied entry whose publisher lets go is
+     *  erased. */
     void release(std::uint64_t key);
+
+    /** Drop a consumer reference taken by acquire(). */
+    void releaseConsumer(std::uint64_t key);
 
     /**
      * Insert an entry caching @p total_tokens under @p key, holding
@@ -130,12 +139,22 @@ class PrefixCache
     /** Entry exists under @p key (ready or not). */
     bool knows(std::uint64_t key) const { return entries_.count(key) != 0; }
 
-    /** Current reference count under @p key (0 if absent) — the
-     *  divisor base for fractional tenant charging. */
+    /** Current reference count under @p key (0 if absent): admitted
+     *  consumers plus structural holds (publisher, child entries). */
     std::uint32_t refsOf(std::uint64_t key) const
     {
         auto it = entries_.find(key);
         return it == entries_.end() ? 0 : it->second.refs;
+    }
+
+    /** Admitted consumer references under @p key (0 if absent) — the
+     *  divisor base for fractional tenant charging. Structural refs
+     *  (publisher hold, session-chained children) are excluded so
+     *  they never dilute a consumer's charge. */
+    std::uint32_t consumersOf(std::uint64_t key) const
+    {
+        auto it = entries_.find(key);
+        return it == entries_.end() ? 0 : it->second.consumers;
     }
 
     /** Evict idle entries (policy order) until the allocator has
@@ -163,7 +182,8 @@ class PrefixCache
         Tokens shareTokens = 0;   ///< whole-chunk tokens consumers reuse
         Tokens ownTokens = 0;     ///< delta tokens this entry backs
         std::uint64_t chunks = 0; ///< chunk custody for ownTokens
-        std::uint32_t refs = 0;   ///< consumers + child entries
+        std::uint32_t refs = 0;   ///< consumers + structural holds
+        std::uint32_t consumers = 0; ///< admitted consumers only
         bool ready = false;
         unsigned tier = ~0u;      ///< most critical consumer tier seen
         double lastUse = 0.0;
@@ -172,7 +192,7 @@ class PrefixCache
 
     using EntryMap = std::map<std::uint64_t, Entry>; // ordered: deterministic
 
-    void dropRef(std::uint64_t key);
+    void dropRef(std::uint64_t key, bool consumer);
     void erase(EntryMap::iterator it, bool count_eviction);
     EntryMap::iterator pickVictim();
     bool evictChunks(std::uint64_t chunks_needed_free);

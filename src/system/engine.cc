@@ -342,16 +342,20 @@ ServingEngine::tryAdmitOne(const TimedRequest &timed, double &prefill_sec,
         ++result_.rejectedRequests;
         return AdmitOutcome::Rejected;
     }
-    // Prefix probe (read-only): the best reusable tree entry —
-    // retained session history first, then the declared workload
-    // prefix. A declared prefix nobody has cached yet makes this
-    // request its publisher: it prefills cold, but its prefix chunks
-    // go into the tree for everyone behind it.
+    // Prefix probe: the best reusable tree entry — retained session
+    // history first, then the declared workload prefix. A declared
+    // prefix nobody has cached yet makes this request its publisher:
+    // it prefills cold, but its prefix chunks go into the tree for
+    // everyone behind it. The hit is pinned immediately (consumer
+    // reference) so the eviction pass below can never take the entry
+    // this admission is counting on; every blocked exit hands the
+    // reference back.
     std::uint64_t key = 0;
-    Tokens share = 0;
     std::uint64_t publish_key = 0;
     bool probed = false;
+    Tokens custody = 0;
     if (prefixActive_) {
+        Tokens share = 0;
         if (options_.prefixCache.sessionReuse &&
             front.session != kNoSession && front.turn > 0) {
             std::uint64_t skey =
@@ -373,43 +377,57 @@ ServingEngine::tryAdmitOne(const TimedRequest &timed, double &prefill_sec,
                 publish_key = pkey;
             probed = true;
         }
+        if (key != 0) {
+            Tokens s =
+                prefixCache_->acquire(key, now(), front.cls.tier);
+            custody = std::min<Tokens>(s, front.contextTokens);
+            if (custody == 0)
+                key = 0; // entry vanished since the peek: go cold
+        }
     }
-    Tokens cached = std::min<Tokens>(share, front.contextTokens);
+    Tokens cached = custody;
     // Tenant budget: within the guarantee always admissible (memory
     // permitting); beyond it only while borrowing is allowed. A warm
     // hit charges its unique tokens in full but the shared prefix
-    // only at 1 / (consumers after this one) — the chunks serve all
-    // of them at once, and the PR 5 work-conserving guarantee holds
-    // because checks and reservations use the same reduced charge.
+    // only at 1 / consumers — the chunks serve all of them at once,
+    // this admission's reference is already counted, and structural
+    // refs (publisher hold, session-chained children) never dilute
+    // the charge. The PR 5 work-conserving guarantee holds because
+    // checks and reservations use the same reduced charge.
     double charge_tokens = static_cast<double>(final_tokens);
     if (cached > 0)
         charge_tokens =
             static_cast<double>(final_tokens - cached) +
             static_cast<double>(cached) /
-                static_cast<double>(prefixCache_->refsOf(key) + 1);
+                static_cast<double>(prefixCache_->consumersOf(key));
     if (budgetsActive_ &&
-        !budgetAdmits(front.cls.tenant, charge_tokens, allow_borrow))
+        !budgetAdmits(front.cls.tenant, charge_tokens, allow_borrow)) {
+        if (key != 0)
+            prefixCache_->releaseConsumer(key);
         return AdmitOutcome::BudgetBlocked;
+    }
     // Headroom: only admit when the full decode trajectory fits
     // next to the current reservations (avoids preemption storms).
     // Warm admissions need headroom only for their unique share;
-    // under pressure the cache sheds idle entries first.
+    // under pressure the cache sheds idle entries first — never the
+    // pinned one, which is reference-held.
     Bytes need_unique = model_.kvBytesPerToken() * (final_tokens - cached);
     if (allocator_->reservedBytes() + need_unique >
         allocator_->capacity()) {
-        if (!prefixActive_ || !prefixCache_->evictFor(need_unique))
+        if (!prefixActive_ || !prefixCache_->evictFor(need_unique)) {
+            if (key != 0)
+                prefixCache_->releaseConsumer(key);
             return AdmitOutcome::Blocked;
+        }
     }
-    // Commit: pin the entry (consumer reference), or seed the tree
-    // as the prefix's publisher, then reserve the unique share.
-    Tokens custody = 0;
+    // Commit: count the hit or miss, seed the tree as the prefix's
+    // publisher if nobody cached it yet, then reserve the unique
+    // share.
     bool publisher = false;
-    if (key != 0) {
-        Tokens s = prefixCache_->acquire(key, now(), front.cls.tier);
-        custody = std::min<Tokens>(s, front.contextTokens);
-    } else if (probed) {
+    if (key != 0)
+        prefixCache_->noteHit();
+    else if (probed)
         prefixCache_->noteMiss();
-    }
     if (publish_key != 0 &&
         prefixCache_->publish(publish_key, 0, 0, front.prefixTokens,
                               front.prefixTokens, now(),
@@ -421,8 +439,12 @@ ServingEngine::tryAdmitOne(const TimedRequest &timed, double &prefill_sec,
     }
     if (!allocator_->tryAdmit(front.id,
                               front.contextTokens - custody)) {
-        if (key != 0)
-            prefixCache_->release(key);
+        if (key != 0) {
+            if (publisher)
+                prefixCache_->release(key);
+            else
+                prefixCache_->releaseConsumer(key);
+        }
         return AdmitOutcome::Blocked;
     }
     // Scalar prefill is a serialized time charge, not chunk items:
@@ -432,8 +454,13 @@ ServingEngine::tryAdmitOne(const TimedRequest &timed, double &prefill_sec,
     if (publisher && options_.prefillChunkTokens == 0)
         prefixCache_->markReady(key, now());
     tenantReserve(front, cached > 0 ? charge_tokens : -1.0);
+    // Reused tokens are counted whether or not prefill time is
+    // charged, so sweeps with charging off still report the hit's
+    // substance (savedPrefillSeconds stays zero there: no time
+    // charge means nothing to save).
+    Tokens warm = publisher ? 0 : custody;
+    result_.prefixCachedTokens += warm;
     if (options_.chargePrefill || options_.prefillChunkTokens > 0) {
-        Tokens warm = publisher ? 0 : custody;
         if (warm > 0) {
             double cold = prefillSeconds(model_, front.contextTokens,
                                          cluster_.xpu,
@@ -443,7 +470,6 @@ ServingEngine::tryAdmitOne(const TimedRequest &timed, double &prefill_sec,
                                              cluster_.xpu,
                                              cluster_.prefillEngines());
             result_.savedPrefillSeconds += cold - prefill_sec;
-            result_.prefixCachedTokens += warm;
         } else {
             prefill_sec = prefillSeconds(model_, front.contextTokens,
                                          cluster_.xpu,
@@ -500,6 +526,17 @@ ServingEngine::prefixWarmTokens(const Request &r) const
 }
 
 void
+ServingEngine::releaseCacheRef(const Active &a)
+{
+    if (!prefixActive_ || a.cacheKey == 0)
+        return;
+    if (a.cachePublisher)
+        prefixCache_->release(a.cacheKey);
+    else
+        prefixCache_->releaseConsumer(a.cacheKey);
+}
+
+void
 ServingEngine::prefixSampleOccupancy()
 {
     // Shared (tree custody) vs unique (per-request) split of the
@@ -525,8 +562,7 @@ ServingEngine::advanceMember(Active &a, double completion_clock,
         // request re-queues with its original arrival time.
         allocator_->release(a.request.id);
         tenantRelease(a.request);
-        if (prefixActive_ && a.cacheKey != 0)
-            prefixCache_->release(a.cacheKey);
+        releaseCacheRef(a);
         ++result_.preemptions;
         requeue.push_back({a.request, a.arrival});
         return false;
@@ -582,8 +618,7 @@ ServingEngine::advanceMember(Active &a, double completion_clock,
         } else {
             allocator_->release(a.request.id);
         }
-        if (prefixActive_ && a.cacheKey != 0)
-            prefixCache_->release(a.cacheKey);
+        releaseCacheRef(a);
         tenantRelease(a.request);
         ++result_.completedRequests;
         if (classesActive_)
@@ -1649,8 +1684,7 @@ ServingEngine::evacuate(bool kill_in_flight)
     auto drop = [&](Active &a) {
         allocator_->release(a.request.id);
         tenantRelease(a.request);
-        if (prefixActive_ && a.cacheKey != 0)
-            prefixCache_->release(a.cacheKey);
+        releaseCacheRef(a);
         out.lostTokens += a.generated;
         out.inFlight.push_back({a.request, a.arrival});
     };

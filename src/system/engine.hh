@@ -716,6 +716,11 @@ class ServingEngine
     /** Sample shared/unique custody peaks (prefixActive_ only). */
     void prefixSampleOccupancy();
 
+    /** Drop @p a's prefix-tree reference, if it holds one: the
+     *  publisher's hold is structural, a warm hit's is a consumer
+     *  ref (the fractional-charge divisor). */
+    void releaseCacheRef(const Active &a);
+
     std::unique_ptr<PimModuleModel> module_;
     std::unique_ptr<XpuModel> xpu_;
     std::vector<double> latencies_;

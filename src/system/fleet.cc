@@ -94,6 +94,8 @@ FleetEngine::pickReplica(const TimedRequest &timed)
             // then the lower index. All-cold requests drop through
             // to the exact least-loaded decision, so the policy is
             // decision-identical to LeastLoaded when caching is off.
+            if (engines_ == nullptr)
+                panic("fleet: prefix-affinity routing outside run()");
             Tokens warmest = 0;
             for (std::size_t i = 0; i < R; ++i) {
                 if (!routable_[i])
@@ -160,7 +162,10 @@ FleetEngine::run()
         eng->prepare();
         engines.push_back(std::move(eng));
     }
-    engines_ = &engines; // warmth probes for PrefixAffinity routing
+    // Warmth probes for PrefixAffinity routing. `engines` is local
+    // to run(), so the view must be cleared before returning or the
+    // pointer dangles.
+    engines_ = &engines;
 
     FleetResult fleet;
     fleet.routedRequests.assign(R, 0);
@@ -311,6 +316,7 @@ FleetEngine::run()
                 std::min(std::max(1.0 - down / makespan, 0.0), 1.0);
         }
     }
+    engines_ = nullptr; // the probed vector dies with this frame
     return fleet;
 }
 

@@ -59,9 +59,16 @@ TEST(PrefixCache, PublishAcquireReleaseLifecycle)
     EXPECT_EQ(cache.refsOf(key), 0u);
     EXPECT_EQ(cache.acquire(key, 1.0, 0), 16u);
     EXPECT_EQ(cache.refsOf(key), 1u);
+    EXPECT_EQ(cache.consumersOf(key), 1u);
+    // Hits are counted at admission commit (noteHit), not inside
+    // acquire: a pinned admission may bounce off budget or headroom
+    // checks and re-acquire on every retry.
+    EXPECT_EQ(cache.stats().hits, 0u);
+    cache.noteHit();
     EXPECT_EQ(cache.stats().hits, 1u);
-    cache.release(key);
+    cache.releaseConsumer(key);
     EXPECT_EQ(cache.refsOf(key), 0u);
+    EXPECT_EQ(cache.consumersOf(key), 0u);
     EXPECT_TRUE(cache.knows(key)); // ready entries outlive consumers
 
     // A duplicate publish is refused without disturbing the entry.
@@ -97,6 +104,9 @@ TEST(PrefixCache, NotReadyUntilMarked)
     EXPECT_TRUE(cache.knows(key));
     EXPECT_EQ(cache.peek(key), 0u);
     EXPECT_EQ(cache.acquire(key, 1.0, 0), 0u);
+    // The publisher's hold is structural, not a consumer ref.
+    EXPECT_EQ(cache.refsOf(key), 1u);
+    EXPECT_EQ(cache.consumersOf(key), 0u);
     cache.markReady(key, 2.0);
     EXPECT_EQ(cache.peek(key), 16u);
     cache.release(key); // publisher done; ready entry persists
@@ -132,6 +142,9 @@ TEST(PrefixCache, SessionChainHoldsParentAlive)
         cache.publish(child, parent, 16, 24, 8, 1.0, 0, false, true));
     EXPECT_EQ(cache.peek(child), 24u);
     EXPECT_EQ(cache.refsOf(parent), 1u); // the child's ref
+    // Structural: the child's ref must not dilute a consumer's
+    // fractional tenant charge.
+    EXPECT_EQ(cache.consumersOf(parent), 0u);
 
     // The parent is pinned by its child: eviction pressure can only
     // take the (idle leaf) child, which unpins the parent. Demanding
@@ -158,7 +171,7 @@ TEST(PrefixCache, LruEvictsOldestIdleEntry)
     ASSERT_TRUE(cache.publish(kc, 0, 0, 8, 8, 3.0, 0, false, true));
     // Touch A at t=4: B becomes the least recently used.
     EXPECT_EQ(cache.acquire(ka, 4.0, 0), 8u);
-    cache.release(ka);
+    cache.releaseConsumer(ka);
 
     ASSERT_TRUE(cache.evictFor(3_MiB));
     EXPECT_TRUE(cache.knows(ka));
@@ -194,7 +207,7 @@ TEST(PrefixCache, ConsumersPinEntriesAgainstEviction)
     EXPECT_FALSE(cache.evictFor(2_MiB));
     EXPECT_TRUE(cache.knows(key));
     // ...until the consumer lets go.
-    cache.release(key);
+    cache.releaseConsumer(key);
     EXPECT_TRUE(cache.evictFor(2_MiB));
     EXPECT_FALSE(cache.knows(key));
 }
